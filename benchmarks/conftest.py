@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+asserts its qualitative shape (who wins, orderings, signs).  Default sizes
+are laptop-friendly; environment variables scale them up for full
+reproduction runs:
+
+    REPRO_BENCH_CORES=64   chip size for the sweeps (default 16)
+    REPRO_SCALE=4          longer simulations (multiplies instruction quanta)
+    REPRO_FULL=1           all 22 workloads instead of the 3-workload subset
+    REPRO_CACHE=path.json  reuse simulation results across processes
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_cores() -> int:
+    return int(os.environ.get("REPRO_BENCH_CORES", "16"))
+
+
+def bench_workloads() -> list:
+    from repro.harness.experiment import default_workloads
+
+    if os.environ.get("REPRO_FULL", "0") not in ("0", "", "false"):
+        return default_workloads(full=True)
+    return ["canneal", "fluidanimate", "water_spatial"]
+
+
+@pytest.fixture
+def cores() -> int:
+    return bench_cores()
+
+
+@pytest.fixture
+def workloads() -> list:
+    return bench_workloads()

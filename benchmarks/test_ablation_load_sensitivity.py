@@ -1,0 +1,53 @@
+"""Load-sensitivity ablation (paper section 5.5).
+
+"Under very adverse conditions, with heavy traffic loads, conflicts would
+be frequent and prevent complete circuits from being built ... timed
+circuits reduce the time circuits keep virtual channels occupied, thus
+raising the threshold over which the network would be too congested."
+
+We sweep the injection rate of a synthetic request-reply load and verify
+both halves: circuit success decays with load, and timed circuits hold a
+higher success rate than untimed ones under pressure.
+"""
+
+from repro.noc.traffic import RequestReplyTraffic
+from repro.sim.config import SystemConfig, Variant
+
+RATES = (2.0, 12.0, 40.0)  # requests per node per kcycle
+CYCLES = 6_000
+
+
+def _success_by_rate(variant: Variant):
+    out = {}
+    for rate in RATES:
+        config = SystemConfig(n_cores=16).with_variant(variant)
+        traffic = RequestReplyTraffic(config, rate, seed=7)
+        traffic.run(CYCLES)
+        traffic.drain()
+        out[rate] = traffic.circuit_success_rate()
+    return out
+
+
+def test_ablation_load_sensitivity(benchmark):
+    def sweep():
+        return {
+            Variant.COMPLETE: _success_by_rate(Variant.COMPLETE),
+            Variant.TIMED_NOACK: _success_by_rate(Variant.TIMED_NOACK),
+            Variant.SLACKDELAY1_NOACK: _success_by_rate(
+                Variant.SLACKDELAY1_NOACK),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for variant, by_rate in results.items():
+        row = "  ".join(f"{rate:5.0f}/kcyc: {100 * success:5.1f}%"
+                        for rate, success in by_rate.items())
+        print(f"  {variant.value:22s} {row}")
+
+    complete = results[Variant.COMPLETE]
+    timed = results[Variant.TIMED_NOACK]
+    # success decays as load grows (untimed circuits hold resources)
+    assert complete[RATES[0]] > complete[RATES[-1]]
+    # timed reservations raise the congestion threshold: under the heaviest
+    # load they keep building more circuits than untimed complete
+    assert timed[RATES[-1]] > complete[RATES[-1]]

@@ -1,0 +1,41 @@
+"""Mesh-size scaling ablation (paper sections 5.2 / 5.5).
+
+"Comparing Figures 6a and 6b, we notice that it is more complicated to
+build circuits with a larger chip, making the scalability of the
+mechanism a concern.  This is due to the longer paths messages need to
+follow and the increased amount of traffic."
+
+We sweep mesh sizes at a fixed per-node injection rate and check that
+complete-circuit success decays with chip size, and that timed circuits
+decay more slowly (the paper's proposed mitigation).
+"""
+
+from repro.harness.sweeps import mesh_scaling_sweep, render_sweep
+from repro.sim.config import Variant
+
+SIDES = (4, 6, 8)
+
+
+def test_ablation_mesh_scaling(benchmark):
+    def sweep():
+        return {
+            Variant.COMPLETE_NOACK: mesh_scaling_sweep(SIDES,
+                                                       Variant.COMPLETE_NOACK),
+            Variant.SLACKDELAY1_NOACK: mesh_scaling_sweep(
+                SIDES, Variant.SLACKDELAY1_NOACK),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for variant, points in results.items():
+        print(render_sweep(points, variant.value))
+
+    complete = results[Variant.COMPLETE_NOACK]
+    timed = results[Variant.SLACKDELAY1_NOACK]
+    # success decays with chip size (the paper's Fig. 6a vs 6b gap)
+    assert complete[0].circuit_success > complete[-1].circuit_success
+    # timed circuits hold circuits for shorter windows: at the largest
+    # chip they must retain at least as much success as untimed
+    assert timed[-1].circuit_success >= complete[-1].circuit_success - 0.02
+    # latency grows with distance regardless
+    assert complete[-1].mean_reply_latency > complete[0].mean_reply_latency

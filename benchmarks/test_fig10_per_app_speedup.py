@@ -1,0 +1,27 @@
+"""Figure 10: per-application speedup for timed circuits with slack+delay.
+
+Paper (64 cores): half of the applications gain over 4.5 %, several gain
+more than 10 %, and at most two applications see a small (<2 %) slowdown.
+At benchmark scale we check the qualitative distribution on the sweep
+subset: gains dominate, slowdowns are rare and small.
+"""
+
+from repro.harness import figures, render
+
+
+def test_fig10_per_app_speedup(benchmark, cores, workloads):
+    data = benchmark.pedantic(
+        figures.figure10, args=(workloads, cores), rounds=1, iterations=1
+    )
+    print()
+    print(render.render_figure10(data))
+
+    speedups = list(data.values())
+    gains = [s for s in speedups if s > 1.0]
+    slowdowns = [s for s in speedups if s < 1.0]
+    # most applications gain
+    assert len(gains) >= len(speedups) / 2
+    # any slowdown is small (paper: < 2 %)
+    assert all(s > 0.95 for s in slowdowns)
+    # the average application benefits
+    assert sum(speedups) / len(speedups) > 1.0

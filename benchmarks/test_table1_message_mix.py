@@ -1,0 +1,35 @@
+"""Table 1: percentage of messages by type on the baseline network.
+
+Paper (64 cores): requests 47.0 %, replies 53.0 %; within replies
+L2_Replies 22.6 %, L1_DATA_ACK 23.0 %, L2_WB_ACK 4.7 %, L1_INV_ACK 1.1 %,
+MEMORY 0.9 %, L1_TO_L1 0.7 %.
+"""
+
+from repro.coherence.messages import Kind
+from repro.harness import render, tables
+
+
+def test_table1_message_mix(benchmark, cores, workloads):
+    measured = benchmark.pedantic(
+        tables.table1, args=(workloads, cores), rounds=1, iterations=1
+    )
+    print()
+    print(render.render_table1(measured, tables.TABLE1_PAPER))
+
+    # Shape checks (the paper's qualitative structure):
+    # data replies and their acknowledgements dominate the reply mix,
+    assert measured[Kind.L2_REPLY] > 10
+    assert measured[Kind.L1_DATA_ACK] > 10
+    # ACKs pair with data replies (L2_REPLY + L1_TO_L1)
+    acks = measured[Kind.L1_DATA_ACK]
+    data = measured[Kind.L2_REPLY] + measured[Kind.L1_TO_L1]
+    assert abs(acks - data) < 2.0
+    # writeback acks are a clear but minor slice,
+    assert 1 < measured[Kind.L2_WB_ACK] < 12
+    # invalidations, memory traffic and L1-to-L1 transfers are small.
+    assert measured[Kind.L1_INV_ACK] < 6
+    assert measured["MEMORY"] < 4
+    assert measured[Kind.L1_TO_L1] < 4
+    # overall request/reply split is in the paper's ballpark
+    assert 30 < measured["requests"] < 55
+    assert 45 < measured["replies"] < 70

@@ -1,0 +1,30 @@
+"""Table 6: router area savings per Reactive Circuits version.
+
+Paper: Fragmented -19.28 % / -18.96 % (16/64 cores), Complete +6.21 % /
++5.77 %, Complete Timed +3.38 % / +1.09 %.
+"""
+
+import pytest
+
+from repro.harness import render, tables
+
+
+def test_table6_router_area(benchmark):
+    measured = benchmark.pedantic(tables.table6, rounds=3, iterations=1)
+    print()
+    print(render.render_table6(measured, tables.TABLE6_PAPER))
+
+    for (label, cores), paper_value in tables.TABLE6_PAPER.items():
+        value = measured[(label, cores)]
+        # correct sign for every row
+        assert value * paper_value > 0, (label, cores)
+        # within a few points of the paper's DSENT numbers
+        assert value == pytest.approx(paper_value, abs=4.0), (label, cores)
+
+    # orderings: fragmented pays, complete saves most, timers eat savings,
+    # and savings shrink with chip size (wider IDs/timers)
+    assert measured[("Complete", 16)] > measured[("Complete Timed", 16)] > 0
+    assert measured[("Complete", 64)] > measured[("Complete Timed", 64)] > 0
+    assert measured[("Fragmented", 16)] < -10
+    assert measured[("Complete", 64)] < measured[("Complete", 16)]
+    assert measured[("Complete Timed", 64)] < measured[("Complete Timed", 16)]

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a 16-core CMP with and without Reactive Circuits.
+
+Builds the paper's baseline chip (Table 2/4), runs the canneal-like
+workload on it, then enables complete Reactive Circuits with eliminated
+acknowledgements (the paper's headline configuration) and compares
+network latency, execution time, and network energy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SystemConfig, Variant, build_system, workload_by_name
+from repro.circuits.outcomes import outcome_fractions
+from repro.power.energy import network_energy
+
+WORKLOAD = "canneal"
+INSTRUCTIONS = 2_000
+WARMUP = 500
+
+
+def run(variant: Variant):
+    config = SystemConfig(n_cores=16).with_variant(variant)
+    system = build_system(config, workload_by_name(WORKLOAD))
+    system.warmup(WARMUP)
+    start = system.sim.cycle
+    finish = system.run_instructions(INSTRUCTIONS)
+    cycles = finish - start
+    energy = network_energy(config, system.stats, cycles)
+    return system, cycles, energy
+
+
+def main() -> None:
+    print(f"workload: {WORKLOAD}, 16 cores, "
+          f"{INSTRUCTIONS} instructions/core after warmup\n")
+
+    base, base_cycles, base_energy = run(Variant.BASELINE)
+    circ, circ_cycles, circ_energy = run(Variant.COMPLETE_NOACK)
+
+    def row(label, system, cycles, energy):
+        s = system.stats
+        print(f"{label:18s} exec={cycles:7d} cycles   "
+              f"reply latency={s.mean('lat.net.crep'):5.1f} cycles   "
+              f"network energy={energy.total:10.0f}")
+
+    row("baseline", base, base_cycles, base_energy)
+    row("complete+NoAck", circ, circ_cycles, circ_energy)
+
+    print()
+    print(f"speedup:           {base_cycles / circ_cycles:>6.3f}x")
+    print(f"energy reduction:  {100 * (1 - circ_energy.total / base_energy.total):>5.1f}%")
+    print()
+    print("reply outcomes with Reactive Circuits:")
+    for outcome, fraction in outcome_fractions(circ.stats).items():
+        if fraction:
+            print(f"  {outcome.value:14s} {100 * fraction:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Design-space sweep: how much slack should a timed circuit reserve?
+
+Section 4.7 of the paper introduces timed reservations with slack, delay
+and postponement; Figure 6 shows the resulting trade-off: too little slack
+and any request delay kills the circuit, too much and reservations start
+conflicting with each other.  This example sweeps the slack-per-hop knob
+on a contended workload and prints the reply-outcome distribution and
+speedup for each point.
+
+Run:  python examples/timed_slack_sweep.py
+"""
+
+from repro import build_system, workload_by_name
+from repro.circuits.outcomes import outcome_fractions
+from repro.sim.config import CircuitConfig, CircuitMode, SystemConfig
+
+WORKLOAD = "fluidanimate"
+INSTRUCTIONS = 1_500
+WARMUP = 400
+
+
+def run(circuit: CircuitConfig):
+    config = SystemConfig(n_cores=16).with_circuit(circuit)
+    system = build_system(config, workload_by_name(WORKLOAD))
+    system.warmup(WARMUP)
+    start = system.sim.cycle
+    cycles = system.run_instructions(INSTRUCTIONS) - start
+    return system, cycles
+
+
+def main() -> None:
+    baseline, base_cycles = run(CircuitConfig())
+    print(f"workload {WORKLOAD}: baseline executes in {base_cycles} cycles\n")
+    print(f"{'config':18s} {'speedup':>8s} {'on_circuit':>11s} "
+          f"{'undone':>7s} {'failed':>7s} {'eliminated':>11s}")
+
+    sweeps = [("untimed", CircuitConfig(mode=CircuitMode.COMPLETE,
+                                        no_ack=True))]
+    for slack in (0, 1, 2, 4, 8):
+        sweeps.append((
+            f"timed slack={slack}",
+            CircuitConfig(mode=CircuitMode.COMPLETE, no_ack=True, timed=True,
+                          slack_per_hop=slack),
+        ))
+    for slack in (1, 2):
+        sweeps.append((
+            f"slack+delay={slack}",
+            CircuitConfig(mode=CircuitMode.COMPLETE, no_ack=True, timed=True,
+                          slack_per_hop=slack, allow_delay=True),
+        ))
+    for post in (1, 2):
+        sweeps.append((
+            f"postponed={post}",
+            CircuitConfig(mode=CircuitMode.COMPLETE, no_ack=True, timed=True,
+                          postponed=True, postpone_per_hop=post),
+        ))
+
+    for label, circuit in sweeps:
+        system, cycles = run(circuit)
+        outcomes = {o.value: f for o, f in
+                    outcome_fractions(system.stats).items()}
+        print(f"{label:18s} {base_cycles / cycles:8.3f} "
+              f"{100 * outcomes['on_circuit']:10.1f}% "
+              f"{100 * outcomes['undone']:6.1f}% "
+              f"{100 * outcomes['failed']:6.1f}% "
+              f"{100 * outcomes['eliminated']:10.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package installed.
+
+``pip install -e .`` uses pyproject.toml on modern toolchains; this shim
+lets ``python setup.py develop`` work in fully offline environments.
+"""
+
+from setuptools import setup
+
+setup()

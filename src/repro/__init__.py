@@ -1,0 +1,64 @@
+"""Reactive Circuits: dynamic construction of circuits for reactive traffic
+in homogeneous CMPs - a full reproduction of the DATE 2014 paper.
+
+Quickstart::
+
+    from repro import SystemConfig, Variant, build_system, workload_by_name
+
+    config = SystemConfig(n_cores=16).with_variant(Variant.COMPLETE_NOACK)
+    system = build_system(config, workload_by_name("canneal"))
+    system.warmup(2_000)
+    cycles = system.run_instructions(10_000)
+
+See :mod:`repro.harness` for the table/figure reproduction entry points.
+"""
+
+from repro.circuits.outcomes import ReplyOutcome, outcome_fractions
+from repro.cpu.workloads import (
+    ALL_WORKLOADS,
+    MULTIPROGRAMMED_MIX,
+    PARALLEL_WORKLOADS,
+    WorkloadProfile,
+    workload_by_name,
+)
+from repro.sim.config import (
+    CacheConfig,
+    CircuitConfig,
+    CircuitMode,
+    NocConfig,
+    SystemConfig,
+    Variant,
+    variant_config,
+)
+from repro.harness.experiment import compare_variants
+from repro.partition import (
+    Partition,
+    build_partitioned_system,
+    quadrants,
+)
+from repro.system import CmpSystem, build_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Partition",
+    "build_partitioned_system",
+    "quadrants",
+    "ALL_WORKLOADS",
+    "CacheConfig",
+    "CircuitConfig",
+    "CircuitMode",
+    "CmpSystem",
+    "MULTIPROGRAMMED_MIX",
+    "NocConfig",
+    "PARALLEL_WORKLOADS",
+    "ReplyOutcome",
+    "SystemConfig",
+    "Variant",
+    "WorkloadProfile",
+    "build_system",
+    "compare_variants",
+    "outcome_fractions",
+    "variant_config",
+    "workload_by_name",
+]

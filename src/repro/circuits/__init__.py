@@ -1,0 +1,15 @@
+"""Reactive Circuits: reservation tables, walks, and per-variant policies."""
+
+from repro.circuits.outcomes import ReplyOutcome
+from repro.circuits.policy import CircuitPolicy, make_policy
+from repro.circuits.table import CircuitEntry, CircuitTable, CircuitWalk, HopRecord
+
+__all__ = [
+    "CircuitEntry",
+    "CircuitPolicy",
+    "CircuitTable",
+    "CircuitWalk",
+    "HopRecord",
+    "ReplyOutcome",
+    "make_policy",
+]

@@ -1,0 +1,50 @@
+"""Reply outcome classification (the categories of the paper's Fig. 6)."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.sim.stats import Stats
+
+
+class ReplyOutcome(enum.Enum):
+    """What happened to each reply with respect to circuit construction."""
+
+    ON_CIRCUIT = "on_circuit"  # travelled on its own (fully usable) circuit
+    FAILED = "failed"  # the circuit could not be (completely) built
+    UNDONE = "undone"  # built, then torn down before use
+    SCROUNGER = "scrounger"  # rode a circuit built for another reply
+    NOT_ELIGIBLE = "not_eligible"  # no request could reserve it a circuit
+    ELIMINATED = "eliminated"  # L1_DATA_ACK removed thanks to the circuit
+
+
+OUTCOME_ORDER = [
+    ReplyOutcome.ON_CIRCUIT,
+    ReplyOutcome.FAILED,
+    ReplyOutcome.UNDONE,
+    ReplyOutcome.SCROUNGER,
+    ReplyOutcome.NOT_ELIGIBLE,
+    ReplyOutcome.ELIMINATED,
+]
+
+
+def outcome_counts(stats: Stats) -> Dict[ReplyOutcome, int]:
+    """Raw per-outcome counts accumulated during a run."""
+    return {
+        outcome: stats.counter(f"circuit.outcome.{outcome.value}")
+        for outcome in OUTCOME_ORDER
+    }
+
+
+def outcome_fractions(stats: Stats) -> Dict[ReplyOutcome, float]:
+    """Fractions of all replies per outcome (the paper's Fig. 6 bars).
+
+    Eliminated acknowledgements count as replies (they would have been sent
+    by the baseline), exactly as in the paper's accounting.
+    """
+    counts = outcome_counts(stats)
+    total = sum(counts.values())
+    if total == 0:
+        return {outcome: 0.0 for outcome in OUTCOME_ORDER}
+    return {outcome: count / total for outcome, count in counts.items()}

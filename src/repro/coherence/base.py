@@ -1,0 +1,37 @@
+"""Shared controller machinery: per-cycle scheduled actions."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+
+class ScheduledController:
+    """Base for cache/memory controllers: a heap of (due_cycle, action).
+
+    Controllers receive messages from the NI during the NI's tick and
+    schedule their handlers ``latency`` cycles later, modelling the array /
+    directory / DRAM access time.  Handlers run during the controller's own
+    tick, which the system builder orders before the NIs so that a response
+    enqueued at cycle ``c`` first injects at ``c + 1``.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[Tuple[int, int, Callable[[int], None]]] = []
+        self._seq = 0
+
+    def schedule(self, due: int, action: Callable[[int], None]) -> None:
+        """Run ``action`` during the tick of cycle ``due``."""
+        heapq.heappush(self._events, (due, self._seq, action))
+        self._seq += 1
+
+    def tick(self, cycle: int) -> None:
+        """Execute every action whose due cycle has arrived."""
+        events = self._events
+        while events and events[0][0] <= cycle:
+            _due, _seq, action = heapq.heappop(events)
+            action(cycle)
+
+    def pending_events(self) -> int:
+        """Scheduled actions not yet executed (drain detection)."""
+        return len(self._events)

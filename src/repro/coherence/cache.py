@@ -1,0 +1,154 @@
+"""Set-associative cache arrays with tree pseudo-LRU replacement.
+
+Both the private L1s (32 KB, 4-way) and the shared L2 banks (1 MB, 16-way)
+use the same array structure; only the per-line metadata differs (the L2
+lines additionally carry directory state, attached by the L2 controller).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, List, Optional, TypeVar
+
+L = TypeVar("L")
+
+
+class PseudoLruTree:
+    """Binary-tree pseudo-LRU for a power-of-two number of ways."""
+
+    def __init__(self, ways: int) -> None:
+        if ways < 1 or ways & (ways - 1):
+            raise ValueError("pseudo-LRU needs a power-of-two way count")
+        self.ways = ways
+        self._bits = [False] * max(1, ways - 1)
+
+    def touch(self, way: int) -> None:
+        """Mark ``way`` most-recently used (flip the path bits away)."""
+        if self.ways == 1:
+            return
+        node = 0
+        span = self.ways
+        base = 0
+        while span > 1:
+            half = span // 2
+            go_right = way >= base + half
+            self._bits[node] = not go_right  # point away from the used half
+            node = 2 * node + (2 if go_right else 1)
+            if go_right:
+                base += half
+            span = half
+
+    def victim(self) -> int:
+        """Follow the bits toward the pseudo-least-recently-used way."""
+        if self.ways == 1:
+            return 0
+        node = 0
+        span = self.ways
+        base = 0
+        while span > 1:
+            half = span // 2
+            go_right = self._bits[node]
+            node = 2 * node + (2 if go_right else 1)
+            if go_right:
+                base += half
+            span = half
+        return base
+
+
+class CacheSet(Generic[L]):
+    """One set: way -> line object (``None`` for empty ways)."""
+
+    __slots__ = ("lines", "addrs", "plru")
+
+    def __init__(self, ways: int) -> None:
+        self.lines: List[Optional[L]] = [None] * ways
+        self.addrs: List[Optional[int]] = [None] * ways
+        self.plru = PseudoLruTree(ways)
+
+
+class CacheArray(Generic[L]):
+    """Tag array indexed by block address (block = addr // line_bytes).
+
+    ``block_stride`` handles bank interleaving: a shared L2 bank in an
+    N-node chip only sees every N-th block, so its set index must use the
+    bank-local block number (block // N) or only 1/N of its sets would
+    ever be occupied.
+    """
+
+    def __init__(self, sets: int, ways: int, line_bytes: int,
+                 block_stride: int = 1) -> None:
+        if sets < 1:
+            raise ValueError("cache needs at least one set")
+        self.sets = sets
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.block_stride = block_stride
+        self._sets: List[CacheSet[L]] = [CacheSet(ways) for _ in range(sets)]
+        #: addr -> (set_index, way) for O(1) lookup.
+        self._where: Dict[int, int] = {}
+
+    def set_index(self, addr: int) -> int:
+        return (addr // self.line_bytes // self.block_stride) % self.sets
+
+    def lookup(self, addr: int) -> Optional[L]:
+        way = self._where.get(addr)
+        if way is None:
+            return None
+        cache_set = self._sets[self.set_index(addr)]
+        cache_set.plru.touch(way)
+        return cache_set.lines[way]
+
+    def peek(self, addr: int) -> Optional[L]:
+        """Lookup without updating recency."""
+        way = self._where.get(addr)
+        if way is None:
+            return None
+        return self._sets[self.set_index(addr)].lines[way]
+
+    def install(self, addr: int, line: L) -> None:
+        """Place ``line`` at a free way; caller must have evicted first."""
+        cache_set = self._sets[self.set_index(addr)]
+        for way, existing in enumerate(cache_set.lines):
+            if existing is None:
+                cache_set.lines[way] = line
+                cache_set.addrs[way] = addr
+                self._where[addr] = way
+                cache_set.plru.touch(way)
+                return
+        raise ValueError(f"no free way in set {self.set_index(addr)}")
+
+    def has_free_way(self, addr: int) -> bool:
+        cache_set = self._sets[self.set_index(addr)]
+        return any(line is None for line in cache_set.lines)
+
+    def choose_victim(
+        self, addr: int, evictable: Callable[[L], bool]
+    ) -> Optional[int]:
+        """Address of the pseudo-LRU evictable line in ``addr``'s set.
+
+        Walks ways starting from the PLRU choice so busy (non-evictable)
+        lines are skipped; returns None when every way is unevictable.
+        """
+        cache_set = self._sets[self.set_index(addr)]
+        start = cache_set.plru.victim()
+        for offset in range(self.ways):
+            way = (start + offset) % self.ways
+            line = cache_set.lines[way]
+            if line is not None and evictable(line):
+                return cache_set.addrs[way]
+        return None
+
+    def remove(self, addr: int) -> Optional[L]:
+        way = self._where.pop(addr, None)
+        if way is None:
+            return None
+        cache_set = self._sets[self.set_index(addr)]
+        line = cache_set.lines[way]
+        cache_set.lines[way] = None
+        cache_set.addrs[way] = None
+        return line
+
+    def occupancy(self) -> int:
+        return len(self._where)
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._where

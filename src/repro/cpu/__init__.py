@@ -1,0 +1,22 @@
+"""Cores and synthetic workloads (the paper's Simics/GEMS substitution)."""
+
+from repro.cpu.core import Core
+from repro.cpu.trace import AccessStream, StreamParams
+from repro.cpu.workloads import (
+    ALL_WORKLOADS,
+    MULTIPROGRAMMED_MIX,
+    PARALLEL_WORKLOADS,
+    WorkloadProfile,
+    workload_by_name,
+)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "AccessStream",
+    "Core",
+    "MULTIPROGRAMMED_MIX",
+    "PARALLEL_WORKLOADS",
+    "StreamParams",
+    "WorkloadProfile",
+    "workload_by_name",
+]

@@ -1,0 +1,83 @@
+"""In-order, IPC-1, blocking core model (paper Table 2).
+
+The core retires one instruction per cycle; memory instructions access the
+L1 and block the pipeline on a miss until the fill returns (sequential
+consistency: stores also block until exclusivity is granted).  L1 hits are
+treated as fully pipelined, so the 2-cycle hit latency does not reduce the
+IPC of hitting code - only misses stall the core.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.coherence.l1 import L1Controller
+from repro.cpu.trace import AccessStream
+from repro.sim.stats import Stats
+
+
+class Core:
+    """One single-threaded in-order core driven by a synthetic stream."""
+
+    def __init__(self, node: int, l1: L1Controller, stream: AccessStream,
+                 stats: Stats) -> None:
+        self.node = node
+        self.l1 = l1
+        self.stream = stream
+        self.stats = stats
+        self.retired = 0
+        #: Instructions to retire before the core reports done (None = run
+        #: forever, used by throughput-style experiments).
+        self.target: Optional[int] = None
+        self.finish_cycle: Optional[int] = None
+        self.waiting = False
+        self._gap = 0
+        self._op: Optional[tuple] = None
+        l1.resume_core = self._resume
+
+    @property
+    def done(self) -> bool:
+        return self.target is not None and self.retired >= self.target
+
+    def set_target(self, instructions: int) -> None:
+        """Arm the core to retire ``instructions`` more instructions."""
+        self.target = self.retired + instructions
+        self.finish_cycle = None
+
+    def tick(self, cycle: int) -> None:
+        """Retire one instruction, or issue/stall on a memory access."""
+        if self.waiting or self.done:
+            return
+        if self._gap > 0:
+            # Non-memory instructions retire at IPC 1.
+            self._gap -= 1
+            self._retire(cycle)
+            return
+        if self._op is None:
+            gap, is_write, addr = self.stream.next_access()
+            if gap > 0:
+                self._gap = gap - 1  # this cycle retires one of the gap
+                self._op = (is_write, addr)
+                self._retire(cycle)
+                return
+            self._op = (is_write, addr)
+        is_write, addr = self._op
+        if self.l1.access(addr, is_write, cycle):
+            self._op = None
+            self._retire(cycle)
+        else:
+            self.waiting = True
+            self.stats.bump("core.stalls_started")
+
+    def _resume(self, cycle: int) -> None:
+        """Called by the L1 when the outstanding miss is filled."""
+        if not self.waiting:
+            return
+        self.waiting = False
+        self._op = None
+        self._retire(cycle)
+
+    def _retire(self, cycle: int) -> None:
+        self.retired += 1
+        if self.done and self.finish_cycle is None:
+            self.finish_cycle = cycle

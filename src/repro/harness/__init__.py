@@ -1,0 +1,21 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from repro.harness.experiment import (
+    RunResult,
+    RunSpec,
+    compare_variants,
+    default_workloads,
+    run_experiment,
+    run_matrix,
+    scale,
+)
+
+__all__ = [
+    "RunResult",
+    "RunSpec",
+    "compare_variants",
+    "default_workloads",
+    "run_experiment",
+    "run_matrix",
+    "scale",
+]

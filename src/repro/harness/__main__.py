@@ -1,0 +1,111 @@
+"""Command-line entry point: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.harness table1 [--cores 64] [--full]
+    python -m repro.harness fig9 --cores 16
+    python -m repro.harness all
+
+Environment:
+    REPRO_SCALE  simulation-length multiplier (default 1.0)
+    REPRO_FULL   1 = sweep all 22 workloads (default: 6-workload subset)
+    REPRO_CACHE  path of a JSON result cache reused across invocations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import figures, render, tables
+from repro.harness.experiment import default_workloads
+
+
+def _workloads(args) -> list:
+    return default_workloads(full=args.full or None)
+
+
+def cmd_table1(args) -> None:
+    measured = tables.table1(_workloads(args), args.cores, args.seed)
+    print(f"Table 1 - message mix ({args.cores} cores, baseline)")
+    print(render.render_table1(measured, tables.TABLE1_PAPER))
+
+
+def cmd_table5(args) -> None:
+    measured = tables.table5(_workloads(args), args.cores, args.seed)
+    print(f"Table 5 - circuit reservation ordinals ({args.cores} cores)")
+    print(render.render_table5(measured, tables.TABLE5_PAPER))
+
+
+def cmd_table6(args) -> None:
+    measured = tables.table6()
+    print("Table 6 - router area savings")
+    print(render.render_table6(measured, tables.TABLE6_PAPER))
+
+
+def cmd_fig6(args) -> None:
+    data = figures.figure6(_workloads(args), args.cores, args.seed)
+    print(f"Figure 6 - reply outcomes ({args.cores} cores)")
+    print(render.render_figure6(data))
+
+
+def cmd_fig7(args) -> None:
+    data = figures.figure7(_workloads(args), args.cores, args.seed)
+    print(f"Figure 7 - message latency ({args.cores} cores)")
+    print(render.render_figure7(data))
+
+
+def cmd_fig8(args) -> None:
+    data = figures.figure8(_workloads(args), args.cores, args.seed)
+    print(f"Figure 8 - normalised network energy ({args.cores} cores)")
+    print(render.render_ratio_figure(data, "energy vs baseline"))
+
+
+def cmd_fig9(args) -> None:
+    data = figures.figure9(_workloads(args), args.cores, args.seed)
+    print(f"Figure 9 - speedup ({args.cores} cores)")
+    print(render.render_ratio_figure(data, "speedup"))
+
+
+def cmd_fig10(args) -> None:
+    data = figures.figure10(_workloads(args), args.cores, args.seed)
+    print(f"Figure 10 - per-application speedup ({args.cores} cores, "
+          "SlackDelay1 + NoAck)")
+    print(render.render_figure10(data))
+
+
+COMMANDS = {
+    "table1": cmd_table1,
+    "table5": cmd_table5,
+    "table6": cmd_table6,
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "fig9": cmd_fig9,
+    "fig10": cmd_fig10,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("what", choices=list(COMMANDS) + ["all"])
+    parser.add_argument("--cores", type=int, default=16,
+                        help="chip size (16 or 64; default 16)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--full", action="store_true",
+                        help="sweep all 22 workloads")
+    args = parser.parse_args(argv)
+    if args.what == "all":
+        for name, command in COMMANDS.items():
+            command(args)
+            print()
+    else:
+        COMMANDS[args.what](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,238 @@
+"""Experiment runner: (variant, workload, chip size) -> measured results.
+
+One :class:`RunResult` feeds every table/figure that needs that
+configuration, so results are memoised per process and optionally on disk
+(``REPRO_CACHE=<path>``).  Simulation length is scaled by ``REPRO_SCALE``
+(default 1.0): the default quanta are sized for laptop-speed pure-Python
+cycle simulation; the paper's 500M-cycle windows correspond to very large
+scales.  The synthetic workloads are stationary, so modest windows already
+produce stable averages.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.circuits.outcomes import outcome_fractions
+from repro.cpu.workloads import ALL_WORKLOADS, workload_by_name
+from repro.power.energy import network_energy
+from repro.sim.config import SystemConfig, Variant
+from repro.system import build_system
+
+#: Baseline measurement quantum (instructions per core) at scale 1.0.
+MEASURE_INSTRUCTIONS = 3_000
+WARMUP_INSTRUCTIONS = 800
+
+#: Representative subset used when a full 22-workload sweep is too slow.
+DEFAULT_WORKLOAD_SUBSET = [
+    "blackscholes",  # compute-bound, low sharing
+    "canneal",  # memory-bound, heavily shared
+    "fluidanimate",  # fine-grained write sharing
+    "fft",  # streaming, memory bound
+    "water_spatial",  # light, low-miss
+    "mix",  # multiprogrammed SPEC-style
+]
+
+
+def scale() -> float:
+    """Global simulation-length multiplier (env ``REPRO_SCALE``)."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def default_workloads(full: Optional[bool] = None) -> List[str]:
+    """Workload names to sweep (env ``REPRO_FULL=1`` for all 22)."""
+    if full is None:
+        full = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+    if full:
+        return [w.name for w in ALL_WORKLOADS]
+    return list(DEFAULT_WORKLOAD_SUBSET)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything defining one measured simulation."""
+
+    n_cores: int
+    variant: Variant
+    workload: str
+    seed: int = 1
+    measure_instructions: int = MEASURE_INSTRUCTIONS
+    warmup_instructions: int = WARMUP_INSTRUCTIONS
+
+    def scaled(self) -> "RunSpec":
+        factor = scale()
+        if factor == 1.0:
+            return self
+        return RunSpec(
+            self.n_cores, self.variant, self.workload, self.seed,
+            max(200, int(self.measure_instructions * factor)),
+            max(100, int(self.warmup_instructions * factor)),
+        )
+
+    def key(self) -> str:
+        return (
+            f"{self.n_cores}/{self.variant.value}/{self.workload}/{self.seed}/"
+            f"{self.measure_instructions}/{self.warmup_instructions}"
+        )
+
+
+@dataclass
+class RunResult:
+    """Flattened measurements of one run (everything the figures need)."""
+
+    spec_key: str
+    n_cores: int
+    variant: str
+    workload: str
+    exec_cycles: int
+    counters: Dict[str, int] = field(default_factory=dict)
+    means: Dict[str, float] = field(default_factory=dict)
+    outcomes: Dict[str, float] = field(default_factory=dict)
+    energy_dynamic: float = 0.0
+    energy_static: float = 0.0
+
+    @property
+    def energy_total(self) -> float:
+        return self.energy_dynamic + self.energy_static
+
+    def counter(self, key: str) -> int:
+        return self.counters.get(key, 0)
+
+    def mean(self, key: str) -> float:
+        return self.means.get(key, 0.0)
+
+    def to_json(self) -> dict:
+        return self.__dict__.copy()
+
+    @staticmethod
+    def from_json(data: dict) -> "RunResult":
+        return RunResult(**data)
+
+
+_memo: Dict[str, RunResult] = {}
+
+
+def _disk_cache_path() -> Optional[str]:
+    return os.environ.get("REPRO_CACHE") or None
+
+
+def _load_disk(key: str) -> Optional[RunResult]:
+    path = _disk_cache_path()
+    if path is None or not os.path.exists(path):
+        return None
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    entry = data.get(key)
+    return RunResult.from_json(entry) if entry else None
+
+
+def _store_disk(result: RunResult) -> None:
+    path = _disk_cache_path()
+    if path is None:
+        return
+    data = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+    data[result.spec_key] = result.to_json()
+    with open(path, "w") as handle:
+        json.dump(data, handle)
+
+
+def run_experiment(spec: RunSpec) -> RunResult:
+    """Simulate one configuration (memoised per process and on disk)."""
+    spec = spec.scaled()
+    key = spec.key()
+    if key in _memo:
+        return _memo[key]
+    cached = _load_disk(key)
+    if cached is not None:
+        _memo[key] = cached
+        return cached
+
+    config = SystemConfig(n_cores=spec.n_cores, seed=spec.seed).with_variant(
+        spec.variant
+    )
+    system = build_system(config, workload_by_name(spec.workload))
+    if spec.warmup_instructions:
+        system.warmup(spec.warmup_instructions)
+    start = system.sim.cycle
+    finish = system.run_instructions(spec.measure_instructions)
+    exec_cycles = finish - start
+    energy = network_energy(config, system.stats, exec_cycles)
+    means = {k: m.mean for k, m in system.stats.means.items()}
+    for cls in ("req", "crep", "norep"):
+        for p in (50, 95, 99):
+            means[f"lat.net.{cls}.p{p}"] = system.stats.percentile(
+                f"lat.net.{cls}", p
+            )
+    result = RunResult(
+        spec_key=key,
+        n_cores=spec.n_cores,
+        variant=spec.variant.value,
+        workload=spec.workload,
+        exec_cycles=exec_cycles,
+        counters=dict(system.stats.counters),
+        means=means,
+        outcomes={o.value: f for o, f in outcome_fractions(system.stats).items()},
+        energy_dynamic=energy.dynamic,
+        energy_static=energy.static,
+    )
+    _memo[key] = result
+    _store_disk(result)
+    return result
+
+
+def run_matrix(n_cores: int, variants: Iterable[Variant],
+               workloads: Iterable[str], seed: int = 1
+               ) -> Dict[Variant, Dict[str, RunResult]]:
+    """Sweep variants x workloads; returns results[variant][workload]."""
+    out: Dict[Variant, Dict[str, RunResult]] = {}
+    for variant in variants:
+        per = {}
+        for workload in workloads:
+            per[workload] = run_experiment(
+                RunSpec(n_cores, variant, workload, seed)
+            )
+        out[variant] = per
+    return out
+
+
+def compare_variants(workload: str, n_cores: int = 16,
+                     variants: Optional[Iterable[Variant]] = None,
+                     seed: int = 1) -> Dict[str, Dict[str, float]]:
+    """One-call comparison of circuit variants on a single workload.
+
+    Returns, per variant name: speedup vs. baseline, normalised network
+    energy, mean circuit-eligible reply latency, and circuit success rate.
+    The convenient entry point for downstream users exploring the design
+    space (``from repro import compare_variants``).
+    """
+    if variants is None:
+        variants = [Variant.BASELINE, Variant.FRAGMENTED, Variant.COMPLETE,
+                    Variant.COMPLETE_NOACK, Variant.SLACKDELAY1_NOACK,
+                    Variant.IDEAL]
+    base = run_experiment(RunSpec(n_cores, Variant.BASELINE, workload, seed))
+    out: Dict[str, Dict[str, float]] = {}
+    for variant in variants:
+        result = run_experiment(RunSpec(n_cores, variant, workload, seed))
+        replies = result.counter("circuit.replies_total")
+        out[variant.value] = {
+            "speedup": base.exec_cycles / result.exec_cycles,
+            "energy_vs_baseline": result.energy_total / base.energy_total,
+            "reply_latency": result.mean("lat.net.crep"),
+            "circuit_success": (
+                result.counter("circuit.outcome.on_circuit") / replies
+                if replies else 0.0
+            ),
+        }
+    return out

@@ -1,0 +1,150 @@
+"""Reproduction of the paper's Figures 6-10 (evaluation section)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.circuits.outcomes import OUTCOME_ORDER
+from repro.harness.experiment import RunSpec, run_experiment
+from repro.sim.config import Variant
+from repro.sim.stats import mean_and_stderr
+
+#: Circuit-building configurations of Fig. 6 (both chip sizes).
+FIG6_VARIANTS = [
+    Variant.FRAGMENTED,
+    Variant.COMPLETE,
+    Variant.COMPLETE_NOACK,
+    Variant.REUSE_NOACK,
+    Variant.TIMED_NOACK,
+    Variant.SLACK1_NOACK,
+    Variant.SLACK2_NOACK,
+    Variant.SLACK4_NOACK,
+    Variant.SLACKDELAY1_NOACK,
+    Variant.SLACKDELAY2_NOACK,
+    Variant.POSTPONED1_NOACK,
+    Variant.POSTPONED2_NOACK,
+    Variant.IDEAL,
+]
+
+#: Latency comparison configurations of Fig. 7.
+FIG7_VARIANTS = [
+    Variant.BASELINE,
+    Variant.FRAGMENTED,
+    Variant.COMPLETE,
+    Variant.COMPLETE_NOACK,
+    Variant.REUSE_NOACK,
+    Variant.TIMED_NOACK,
+    Variant.SLACKDELAY1_NOACK,
+    Variant.POSTPONED1_NOACK,
+    Variant.IDEAL,
+]
+
+#: Energy configurations of Fig. 8 (paper excludes Ideal and Postponed).
+FIG8_VARIANTS = [
+    Variant.FRAGMENTED,
+    Variant.COMPLETE,
+    Variant.COMPLETE_NOACK,
+    Variant.REUSE_NOACK,
+    Variant.TIMED_NOACK,
+    Variant.SLACKDELAY1_NOACK,
+]
+
+#: Speedup configurations of Fig. 9.
+FIG9_VARIANTS = [
+    Variant.FRAGMENTED,
+    Variant.COMPLETE,
+    Variant.COMPLETE_NOACK,
+    Variant.REUSE_NOACK,
+    Variant.TIMED_NOACK,
+    Variant.SLACKDELAY1_NOACK,
+    Variant.IDEAL,
+]
+
+#: Paper headline numbers for cross-checking (EXPERIMENTS.md).
+PAPER_ENERGY_REDUCTION = {16: 15.2, 64: 20.8}  # Complete_NoAck, percent
+PAPER_SPEEDUP = {
+    (Variant.COMPLETE_NOACK, 16): 3.8,
+    (Variant.COMPLETE_NOACK, 64): 4.8,
+    (Variant.SLACKDELAY1_NOACK, 16): 4.4,
+    (Variant.SLACKDELAY1_NOACK, 64): 6.0,
+}
+
+
+def figure6(workloads: List[str], n_cores: int, seed: int = 1
+            ) -> Dict[str, Dict[str, float]]:
+    """Reply outcome breakdown per variant (averaged over workloads)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for variant in FIG6_VARIANTS:
+        sums = {o.value: 0.0 for o in OUTCOME_ORDER}
+        for workload in workloads:
+            result = run_experiment(RunSpec(n_cores, variant, workload, seed))
+            for key, value in result.outcomes.items():
+                sums[key] += value
+        out[variant.value] = {
+            key: value / len(workloads) for key, value in sums.items()
+        }
+    return out
+
+
+def figure7(workloads: List[str], n_cores: int, seed: int = 1
+            ) -> Dict[str, Dict[str, Tuple[float, float]]]:
+    """Message latency (network, queueing) by class per variant."""
+    out: Dict[str, Dict[str, Tuple[float, float]]] = {}
+    for variant in FIG7_VARIANTS:
+        per_class = {cls: [0.0, 0.0] for cls in ("req", "crep", "norep")}
+        for workload in workloads:
+            result = run_experiment(RunSpec(n_cores, variant, workload, seed))
+            for cls in per_class:
+                per_class[cls][0] += result.mean(f"lat.net.{cls}")
+                per_class[cls][1] += result.mean(f"lat.queue.{cls}")
+        out[variant.value] = {
+            cls: (vals[0] / len(workloads), vals[1] / len(workloads))
+            for cls, vals in per_class.items()
+        }
+    return out
+
+
+def figure8(workloads: List[str], n_cores: int, seed: int = 1
+            ) -> Dict[str, Tuple[float, float]]:
+    """Network energy normalised to baseline: (mean, stderr) per variant."""
+    base = {
+        w: run_experiment(RunSpec(n_cores, Variant.BASELINE, w, seed))
+        for w in workloads
+    }
+    out: Dict[str, Tuple[float, float]] = {"Baseline": (1.0, 0.0)}
+    for variant in FIG8_VARIANTS:
+        ratios = []
+        for workload in workloads:
+            result = run_experiment(RunSpec(n_cores, variant, workload, seed))
+            ratios.append(result.energy_total / base[workload].energy_total)
+        out[variant.value] = mean_and_stderr(ratios)
+    return out
+
+
+def figure9(workloads: List[str], n_cores: int, seed: int = 1
+            ) -> Dict[str, Tuple[float, float]]:
+    """Speedup vs. baseline: (mean, stderr) per variant."""
+    base = {
+        w: run_experiment(RunSpec(n_cores, Variant.BASELINE, w, seed))
+        for w in workloads
+    }
+    out: Dict[str, Tuple[float, float]] = {}
+    for variant in FIG9_VARIANTS:
+        speedups = []
+        for workload in workloads:
+            result = run_experiment(RunSpec(n_cores, variant, workload, seed))
+            speedups.append(base[workload].exec_cycles / result.exec_cycles)
+        out[variant.value] = mean_and_stderr(speedups)
+    return out
+
+
+def figure10(workloads: List[str], n_cores: int = 64, seed: int = 1,
+             variant: Variant = Variant.SLACKDELAY1_NOACK
+             ) -> Dict[str, float]:
+    """Per-application speedup for timed circuits with slack+delay of 1."""
+    out: Dict[str, float] = {}
+    for workload in workloads:
+        base = run_experiment(RunSpec(n_cores, Variant.BASELINE, workload, seed))
+        result = run_experiment(RunSpec(n_cores, variant, workload, seed))
+        out[workload] = base.exec_cycles / result.exec_cycles
+    return out

@@ -1,0 +1,97 @@
+"""Plain-text rendering of reproduced tables and figures."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Tuple
+
+from repro.circuits.outcomes import OUTCOME_ORDER
+
+
+def format_table(headers: List[str], rows: Iterable[List[str]]) -> str:
+    """Monospace table with column alignment."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def render_table1(measured: Mapping[str, float],
+                  paper: Mapping[str, float]) -> str:
+    rows = []
+    for key in measured:
+        rows.append([
+            key,
+            f"{measured[key]:.1f}%",
+            f"{paper.get(key, float('nan')):.1f}%" if key in paper else "-",
+        ])
+    return format_table(["message class", "measured", "paper"], rows)
+
+
+def render_table5(measured: Mapping[object, float],
+                  paper: Mapping[object, float]) -> str:
+    rows = []
+    for key in (1, 2, 3, 4, 5, "failed"):
+        label = f"{key}th circuit" if isinstance(key, int) else "failed"
+        rows.append([
+            label,
+            f"{measured.get(key, 0.0):.1f}%",
+            f"{paper.get(key, 0.0):.1f}%",
+        ])
+    return format_table(["reservation", "measured", "paper"], rows)
+
+
+def render_table6(measured: Mapping[Tuple[str, int], float],
+                  paper: Mapping[Tuple[str, int], float]) -> str:
+    rows = []
+    for (label, cores), value in measured.items():
+        rows.append([
+            label, f"{cores} cores", f"{value:+.2f}%",
+            f"{paper.get((label, cores), float('nan')):+.2f}%",
+        ])
+    return format_table(["version", "chip", "measured", "paper"], rows)
+
+
+def render_figure6(data: Mapping[str, Mapping[str, float]]) -> str:
+    headers = ["variant"] + [o.value for o in OUTCOME_ORDER]
+    rows = []
+    for variant, outcomes in data.items():
+        rows.append([variant] + [
+            f"{100 * outcomes.get(o.value, 0.0):.1f}%" for o in OUTCOME_ORDER
+        ])
+    return format_table(headers, rows)
+
+
+def render_figure7(data: Mapping[str, Mapping[str, Tuple[float, float]]]) -> str:
+    headers = ["variant", "req net+q", "circuit-rep net+q", "no-circuit net+q"]
+    rows = []
+    for variant, classes in data.items():
+        rows.append([
+            variant,
+            "{:.1f}+{:.1f}".format(*classes["req"]),
+            "{:.1f}+{:.1f}".format(*classes["crep"]),
+            "{:.1f}+{:.1f}".format(*classes["norep"]),
+        ])
+    return format_table(headers, rows)
+
+
+def render_ratio_figure(data: Mapping[str, Tuple[float, float]],
+                        value_label: str) -> str:
+    rows = [
+        [variant, f"{mean:.3f}", f"±{err:.3f}"]
+        for variant, (mean, err) in data.items()
+    ]
+    return format_table(["variant", value_label, "stderr"], rows)
+
+
+def render_figure10(data: Mapping[str, float]) -> str:
+    rows = [
+        [workload, f"{speedup:.3f}", f"{100 * (speedup - 1):+.1f}%"]
+        for workload, speedup in sorted(data.items(), key=lambda kv: -kv[1])
+    ]
+    return format_table(["application", "speedup", "gain"], rows)

@@ -1,0 +1,112 @@
+"""Design-space sweep utilities built on the synthetic traffic driver.
+
+These answer the scalability questions the paper raises in sections 5.2
+and 5.5 - how circuit construction behaves as the chip grows, as load
+rises, and as router buffering changes - without the cost of full
+protocol simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from repro.noc.traffic import RequestReplyTraffic
+from repro.sim.config import NocConfig, SystemConfig, Variant
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured sweep configuration."""
+
+    label: str
+    circuit_success: float
+    mean_reply_latency: float
+    offered_load: float
+
+
+def _measure(config: SystemConfig, rate: float, cycles: int, seed: int,
+             label: str) -> SweepPoint:
+    traffic = RequestReplyTraffic(config, rate, seed=seed)
+    traffic.run(cycles)
+    traffic.drain()
+    return SweepPoint(
+        label=label,
+        circuit_success=traffic.circuit_success_rate() or 0.0,
+        mean_reply_latency=traffic.mean_reply_latency(),
+        offered_load=traffic.offered_load_flits_per_kcycle_node(),
+    )
+
+
+def mesh_scaling_sweep(
+    sides: Sequence[int] = (4, 6, 8, 10),
+    variant: Variant = Variant.COMPLETE_NOACK,
+    rate: float = 6.0,
+    cycles: int = 5_000,
+    seed: int = 1,
+) -> List[SweepPoint]:
+    """Circuit success vs. chip size (the paper's scalability concern).
+
+    Longer paths mean more routers where a reservation can conflict, so
+    the success rate falls as the mesh grows - the effect behind the gap
+    between the paper's Figures 6a and 6b.
+    """
+    points = []
+    for side in sides:
+        config = SystemConfig(n_cores=side * side).with_variant(variant)
+        points.append(_measure(config, rate, cycles, seed,
+                               label=f"{side * side} cores"))
+    return points
+
+
+def load_sweep(
+    rates: Sequence[float] = (2.0, 6.0, 12.0, 24.0, 48.0),
+    variant: Variant = Variant.COMPLETE_NOACK,
+    n_cores: int = 16,
+    cycles: int = 5_000,
+    seed: int = 1,
+) -> List[SweepPoint]:
+    """Circuit success and latency vs. injection rate (section 5.5)."""
+    points = []
+    for rate in rates:
+        config = SystemConfig(n_cores=n_cores).with_variant(variant)
+        points.append(_measure(config, rate, cycles, seed,
+                               label=f"{rate:g} req/kcyc"))
+    return points
+
+
+def buffer_depth_sweep(
+    depths: Sequence[int] = (3, 5, 8),
+    variant: Variant = Variant.BASELINE,
+    n_cores: int = 16,
+    rate: float = 24.0,
+    cycles: int = 5_000,
+    seed: int = 1,
+) -> List[SweepPoint]:
+    """Reply latency vs. router buffer depth (baseline sensitivity).
+
+    The paper's Table 4 fixes 5-flit buffers ("enough to store a whole
+    message"); this sweep shows what that choice buys under load.
+    """
+    points = []
+    for depth in depths:
+        base = SystemConfig(n_cores=n_cores).with_variant(variant)
+        config = replace(
+            base, noc=replace(base.noc, buffer_depth_flits=depth)
+        )
+        points.append(_measure(config, rate, cycles, seed,
+                               label=f"{depth}-flit buffers"))
+    return points
+
+
+def render_sweep(points: Sequence[SweepPoint], title: str) -> str:
+    """Plain-text rendering of a sweep."""
+    lines = [title]
+    width = max(len(p.label) for p in points)
+    for p in points:
+        lines.append(
+            f"  {p.label.ljust(width)}  success {100 * p.circuit_success:5.1f}%"
+            f"  reply latency {p.mean_reply_latency:6.1f} cyc"
+            f"  load {p.offered_load:6.1f} flits/kcyc/node"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Cycle-level NoC substrate: mesh topology, wormhole routers, interfaces."""
+
+from repro.noc.flit import Flit, Message
+from repro.noc.network import Network
+from repro.noc.routing import route_xy, route_yx
+from repro.noc.topology import LOCAL, Mesh, Port, opposite
+from repro.noc.traffic import RequestReplyTraffic
+
+__all__ = [
+    "Flit",
+    "LOCAL",
+    "Mesh",
+    "Message",
+    "Network",
+    "Port",
+    "RequestReplyTraffic",
+    "opposite",
+    "route_xy",
+    "route_yx",
+]

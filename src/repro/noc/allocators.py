@@ -1,0 +1,76 @@
+"""Round-robin arbiters and the two-phase separable VC/switch allocators.
+
+The baseline router (paper Table 4) uses round-robin two-phase allocators:
+phase 1 arbitrates among a unit's own candidates, phase 2 arbitrates among
+phase-1 winners competing for the same resource.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class RoundRobinArbiter:
+    """Classic rotating-priority arbiter over opaque candidate ids."""
+
+    def __init__(self) -> None:
+        self._last: Optional[Hashable] = None
+
+    def pick(self, candidates: Sequence[T]) -> Optional[T]:
+        """Grant one candidate, rotating priority after each grant."""
+        if not candidates:
+            return None
+        if self._last is not None and self._last in candidates:
+            start = (list(candidates).index(self._last) + 1) % len(candidates)
+        elif self._last is not None:
+            # Keep rotating fairness even when the previous winner is absent:
+            # start from the first candidate "after" it in submission order.
+            start = 0
+        else:
+            start = 0
+        ordered = list(candidates[start:]) + list(candidates[:start])
+        winner = ordered[0]
+        self._last = winner
+        return winner
+
+
+class ArbiterPool:
+    """Lazy map of resource id -> RoundRobinArbiter."""
+
+    def __init__(self) -> None:
+        self._arbiters: Dict[Hashable, RoundRobinArbiter] = {}
+
+    def pick(self, resource: Hashable, candidates: Sequence[T]) -> Optional[T]:
+        arbiter = self._arbiters.get(resource)
+        if arbiter is None:
+            arbiter = self._arbiters[resource] = RoundRobinArbiter()
+        return arbiter.pick(candidates)
+
+
+def two_phase_allocate(
+    requests: Dict[Hashable, List[Hashable]],
+    phase1: ArbiterPool,
+    phase2: ArbiterPool,
+) -> Dict[Hashable, Hashable]:
+    """Generic separable allocation.
+
+    ``requests`` maps each requester to the resources it can use.  Phase 1:
+    each requester picks one resource (round-robin over its options).
+    Phase 2: each resource picks one requester.  Returns
+    ``{requester: resource}`` for the winners.
+    """
+    # Phase 1 - requester-side arbitration among acceptable resources.
+    proposals: Dict[Hashable, List[Hashable]] = {}
+    for requester, resources in requests.items():
+        choice = phase1.pick(requester, resources)
+        if choice is not None:
+            proposals.setdefault(choice, []).append(requester)
+    # Phase 2 - resource-side arbitration among proposers.
+    grants: Dict[Hashable, Hashable] = {}
+    for resource, requesters in proposals.items():
+        winner = phase2.pick(resource, requesters)
+        if winner is not None:
+            grants[winner] = resource
+    return grants

@@ -1,0 +1,328 @@
+"""Network interface (NI).
+
+Each tile has one NI connecting its core/L1, L2 bank, and (optionally)
+memory controller to the router's LOCAL port.  The NI:
+
+* segments messages into flits and injects at most one flit per cycle,
+* tracks credits for the router's local input VCs,
+* reassembles ejected flits and delivers messages to the protocol layer,
+* owns the circuit origination table (paper: "information of the circuit
+  is also stored in the network interface where the circuit starts"),
+* plans replies with the circuit policy: ride the circuit (possibly waiting
+  for a timed slot), scrounge another circuit, or fall back to packets,
+* relays scrounger messages onward from their intermediate destination.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.noc.flit import CircuitKey, Message
+from repro.noc.link import CreditLink, FlitLink
+from repro.sim.stats import Stats
+
+
+class _ActiveSend:
+    """An in-progress message injection (one per VN, plus circuit sends)."""
+
+    __slots__ = ("msg", "flits", "index", "vn", "vc", "circuit", "plan")
+
+    def __init__(self, msg: Message, vn: int, vc: int, circuit: bool) -> None:
+        self.msg = msg
+        self.flits = msg.flits()
+        self.index = 0
+        self.vn = vn
+        self.vc = vc
+        self.circuit = circuit
+        self.plan = msg.plan
+
+    @property
+    def done(self) -> bool:
+        return self.index >= len(self.flits)
+
+
+class NetworkInterface:
+    """Injection/ejection endpoint of one tile."""
+
+    def __init__(self, node: int, mesh, config, policy, stats: Stats) -> None:
+        self.node = node
+        self.mesh = mesh
+        self.config = config
+        self.policy = policy
+        self.stats = stats
+        # Channels (wired by the Network).
+        self.to_router: Optional[FlitLink] = None
+        self.from_router: Optional[FlitLink] = None
+        self.credit_in: Optional[CreditLink] = None
+        self.credit_out: Optional[CreditLink] = None
+        # Credits mirroring the router's LOCAL input VC buffers.
+        depth = config.noc.buffer_depth_flits
+        bufferless = policy.bufferless_vcs()
+        self.credits: List[List[int]] = [
+            [0 if (vn, vc) in bufferless else depth for vc in range(count)]
+            for vn, count in enumerate(config.noc.vcs_per_vn)
+        ]
+        # Queues.
+        self.req_queue: Deque[Message] = deque()
+        self.reply_pending: Deque[Message] = deque()
+        self.reply_queue: Deque[Message] = deque()
+        self.held: List[Tuple[int, int, Message]] = []
+        self._seq = 0
+        self.active_circuit: Optional[_ActiveSend] = None
+        self.active_packet: Dict[int, Optional[_ActiveSend]] = {0: None, 1: None}
+        self._vn_preference = 0
+        # Circuit origination state (policy-managed).
+        self.origin_table: Dict[CircuitKey, object] = {}
+        self._undo_out: List[Tuple[int, CircuitKey]] = []
+        # Ejection.
+        self._rx_counts: Dict[int, int] = {}
+        self.deliver: Optional[Callable[[Message, int], None]] = None
+        #: Flits/credits in flight toward this NI (link watcher).
+        self.incoming = 0
+
+    # ------------------------------------------------------------------
+    # Protocol-facing API.
+    # ------------------------------------------------------------------
+    def enqueue(self, msg: Message, cycle: int) -> None:
+        """Hand a message to the NI (injectable from the next cycle on)."""
+        msg.enqueued_cycle = cycle
+        self.stats.bump("noc.msgs_enqueued")
+        if msg.vn == 0:
+            self.req_queue.append(msg)
+        else:
+            self.reply_pending.append(msg)
+
+    def cancel_circuit(self, key: CircuitKey, cycle: int) -> bool:
+        """Protocol decided a reserved circuit will never be used (4.4).
+
+        Returns True when a built circuit actually existed and was undone
+        (the protocol marks the replacement reply as "undone" for Fig. 6).
+        """
+        return self.policy.cancel_origin(self, key, cycle)
+
+    def send_undo(self, key: CircuitKey, cycle: int) -> None:
+        """Queue an undo notice toward the circuit's destination.
+
+        Sent one cycle later so an undo can never overtake (or tie with)
+        circuit flits already in flight on the same path.
+        """
+        self._undo_out.append((cycle + 1, key))
+
+    def pending_work(self) -> int:
+        """Messages queued or mid-injection (used for drain detection)."""
+        total = len(self.req_queue) + len(self.reply_pending)
+        total += len(self.reply_queue) + len(self.held)
+        total += len(self._rx_counts) + len(self._undo_out)
+        if self.to_router is not None:
+            total += self.to_router.in_flight()
+        if self.active_circuit is not None:
+            total += 1
+        total += sum(1 for act in self.active_packet.values() if act is not None)
+        return total
+
+    # ------------------------------------------------------------------
+    # Tick.
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        if not self._has_work():
+            return
+        self._pull_credits(cycle)
+        self._pull_ejections(cycle)
+        self._flush_undo(cycle)
+        self._plan_replies(cycle)
+        self._inject_one_flit(cycle)
+
+    def _has_work(self) -> bool:
+        return bool(
+            self.incoming
+            or self.req_queue
+            or self.reply_pending
+            or self.reply_queue
+            or self.held
+            or self._undo_out
+            or self.active_circuit is not None
+            or self.active_packet[0] is not None
+            or self.active_packet[1] is not None
+        )
+
+    def _pull_credits(self, cycle: int) -> None:
+        link = self.credit_in
+        if link is None or not link._queue or link._queue[0][0] > cycle:
+            return
+        for credit in link.arrivals(cycle):
+            if credit.is_buffer_credit:
+                self.credits[credit.vn][credit.vc] += 1
+
+    def _pull_ejections(self, cycle: int) -> None:
+        link = self.from_router
+        if link is None or not link._queue or link._queue[0][0] > cycle:
+            return
+        for flit in link.arrivals(cycle):
+            msg = flit.msg
+            got = self._rx_counts.get(msg.uid, 0) + 1
+            if got == msg.n_flits:
+                self._rx_counts.pop(msg.uid, None)
+                self._finish(msg, cycle)
+            else:
+                self._rx_counts[msg.uid] = got
+
+    def _flush_undo(self, cycle: int) -> None:
+        if not self._undo_out:
+            return
+        keep: List[Tuple[int, CircuitKey]] = []
+        for due, key in self._undo_out:
+            if due <= cycle:
+                self.credit_out.send_undo(key, cycle)
+                self.stats.bump("circuit.undo_hops")
+            else:
+                keep.append((due, key))
+        self._undo_out = keep
+
+    def _plan_replies(self, cycle: int) -> None:
+        while self.reply_pending and self.reply_pending[0].enqueued_cycle < cycle:
+            msg = self.reply_pending.popleft()
+            plan = self.policy.plan_reply(self, msg, cycle)
+            msg.plan = plan
+            if plan.kind == "circuit":
+                heapq.heappush(
+                    self.held, (max(plan.release, cycle), self._seq, msg)
+                )
+                self._seq += 1
+            else:
+                self.reply_queue.append(msg)
+
+    # -- injection ---------------------------------------------------------
+    def _inject_one_flit(self, cycle: int) -> None:
+        if self.active_circuit is not None:
+            self._advance_circuit(cycle)
+            return
+        if self._start_circuit(cycle):
+            return
+        first = self._vn_preference
+        for vn in (first, 1 - first):
+            if self._advance_packet(vn, cycle):
+                self._vn_preference = 1 - vn
+                return
+
+    def _start_circuit(self, cycle: int) -> bool:
+        while self.held and self.held[0][0] <= cycle:
+            _release, _seq, msg = heapq.heappop(self.held)
+            plan = msg.plan
+            if not self.policy.validate_send(self, msg, cycle):
+                # Timed window can no longer be met: undo, go packet-switched.
+                self.stats.bump("circuit.window_missed_late")
+                plan.kind = "packet"
+                plan.outcome = "undone"
+                msg.uses_circuit = False
+                self.reply_queue.append(msg)
+                continue
+            self.policy.record_outcome(self, msg, plan, cycle)
+            msg.injected_cycle = cycle
+            msg.queue_acc += cycle - msg.enqueued_cycle
+            act = _ActiveSend(msg, 1, plan.dst_vc, circuit=True)
+            for flit in act.flits:
+                flit.on_circuit = True
+            self.active_circuit = act
+            self._advance_circuit(cycle)
+            return True
+        return False
+
+    def _advance_circuit(self, cycle: int) -> None:
+        act = self.active_circuit
+        assert act is not None
+        needs_credit = getattr(self.policy, "circuit_credits", False)
+        if needs_credit:
+            if self.credits[1][act.vc] <= 0:
+                return
+            self.credits[1][act.vc] -= 1
+        flit = act.flits[act.index]
+        flit.dst_vc = act.vc
+        act.index += 1
+        self.to_router.send(flit, cycle)
+        self.stats.bump("noc.flits_injected")
+        self.stats.bump("noc.link_flits")
+        if act.done:
+            self.active_circuit = None
+            if act.plan is not None and act.plan.is_scrounger:
+                self.policy.on_scrounger_sent(self, act.plan, cycle)
+
+    def _advance_packet(self, vn: int, cycle: int) -> bool:
+        act = self.active_packet[vn]
+        if act is None:
+            act = self._start_packet(vn, cycle)
+            if act is None:
+                return False
+        if self.credits[act.vn][act.vc] <= 0:
+            return False
+        flit = act.flits[act.index]
+        flit.dst_vc = act.vc
+        act.index += 1
+        self.credits[act.vn][act.vc] -= 1
+        self.to_router.send(flit, cycle)
+        self.stats.bump("noc.flits_injected")
+        self.stats.bump("noc.link_flits")
+        if act.done:
+            self.active_packet[vn] = None
+        return True
+
+    def _start_packet(self, vn: int, cycle: int) -> Optional[_ActiveSend]:
+        queue = self.req_queue if vn == 0 else self.reply_queue
+        if not queue or queue[0].enqueued_cycle >= cycle:
+            return None
+        vc = self._pick_vc(vn)
+        if vc is None:
+            return None
+        msg = queue.popleft()
+        msg.injected_cycle = cycle
+        msg.queue_acc += cycle - msg.enqueued_cycle
+        if vn == 0 and msg.builds_circuit:
+            self.policy.on_request_injected(self, msg, cycle)
+        if vn == 1:
+            plan = msg.plan
+            if plan is not None:
+                self.policy.record_outcome(self, msg, plan, cycle)
+        act = _ActiveSend(msg, vn, vc, circuit=False)
+        self.active_packet[vn] = act
+        return act
+
+    def _pick_vc(self, vn: int) -> Optional[int]:
+        for vc in self.policy.injectable_vcs(vn):
+            if self.credits[vn][vc] > 0:
+                return vc
+        return None
+
+    # -- ejection ------------------------------------------------------------
+    def _finish(self, msg: Message, cycle: int) -> None:
+        msg.net_acc += cycle - msg.injected_cycle
+        if msg.final_dest is not None and msg.final_dest != self.node:
+            # Scrounger intermediate hop: re-inject toward the real target.
+            self.stats.bump("circuit.scrounger_relays")
+            msg.src = self.node
+            msg.dest = msg.final_dest
+            msg.final_dest = None
+            msg.ride_key = None
+            msg.uses_circuit = False
+            msg.plan = None
+            msg.enqueued_cycle = cycle
+            self.reply_pending.append(msg)
+            return
+        self._record_latency(msg)
+        if msg.builds_circuit:
+            self.policy.on_request_delivered(self, msg, cycle)
+        if self.deliver is not None:
+            self.deliver(msg, cycle)
+
+    def _record_latency(self, msg: Message) -> None:
+        if msg.vn == 0:
+            cls = "req"
+        elif msg.circuit_eligible:
+            cls = "crep"
+        else:
+            cls = "norep"
+        self.stats.record(f"lat.net.{cls}", msg.net_acc)
+        self.stats.observe(f"lat.queue.{cls}", msg.queue_acc)
+        self.stats.bump(f"msg.count.{msg.kind}")
+        self.stats.bump("noc.msgs_delivered")
+        self.stats.bump(f"noc.flits_delivered", msg.n_flits)

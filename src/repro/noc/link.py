@@ -1,0 +1,115 @@
+"""Pipelined links for flits and credits.
+
+A flit sent during a router's switch-traversal cycle ``c`` spends
+``latency`` cycles on the wire and is available to the receiver at the
+start of cycle ``c + 1 + latency`` (so a 4-stage router plus a 1-cycle link
+yields the paper's 5 cycles/hop, and a circuit hop yields 2 cycles/hop).
+
+Credits flow on a dedicated reverse channel with the same timing.  Per
+section 4.4, credits may also carry "undo circuit" notifications, either
+piggybacked on a buffer credit or as a dedicated credit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional, Tuple
+
+from repro.noc.flit import CircuitKey, Flit
+
+
+class FlitLink:
+    """One-directional flit channel between two routers (or router/NI).
+
+    ``watcher`` (the receiving router/NI) is poked on every send so idle
+    receivers can skip their tick entirely - a pure simulation-speed
+    optimisation with no architectural effect.
+    """
+
+    __slots__ = ("latency", "_queue", "watcher")
+
+    def __init__(self, latency: int = 1) -> None:
+        self.latency = latency
+        self._queue: Deque[Tuple[int, Flit]] = deque()
+        self.watcher = None
+
+    def send(self, flit: Flit, cycle: int) -> None:
+        """Put ``flit`` on the wire during ``cycle`` (its ST cycle)."""
+        self._queue.append((cycle + 1 + self.latency, flit))
+        if self.watcher is not None:
+            self.watcher.incoming += 1
+
+    def arrivals(self, cycle: int) -> Iterator[Flit]:
+        """Yield flits available to the receiver at ``cycle``."""
+        queue = self._queue
+        watcher = self.watcher
+        while queue and queue[0][0] <= cycle:
+            if watcher is not None:
+                watcher.incoming -= 1
+            yield queue.popleft()[1]
+
+    def in_flight(self) -> int:
+        return len(self._queue)
+
+
+class Credit:
+    """A credit, optionally carrying circuit-undo information."""
+
+    __slots__ = ("vn", "vc", "undo_key")
+
+    def __init__(
+        self,
+        vn: Optional[int] = None,
+        vc: Optional[int] = None,
+        undo_key: Optional[CircuitKey] = None,
+    ) -> None:
+        self.vn = vn
+        self.vc = vc
+        self.undo_key = undo_key
+
+    @property
+    def is_buffer_credit(self) -> bool:
+        return self.vn is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Credit(vn={self.vn}, vc={self.vc}, undo={self.undo_key})"
+
+
+class CreditLink:
+    """Reverse channel returning credits (and undo notices) upstream."""
+
+    __slots__ = ("latency", "_queue", "watcher")
+
+    def __init__(self, latency: int = 1) -> None:
+        self.latency = latency
+        self._queue: Deque[Tuple[int, Credit]] = deque()
+        self.watcher = None
+
+    def send_credit(self, vn: int, vc: int, cycle: int) -> None:
+        """Return one buffer credit.
+
+        If an undo notice is departing in the same cycle it is piggybacked
+        onto this credit (one wire transaction instead of two); the merge is
+        purely an energy optimisation, so we model it in the energy counters
+        rather than in the channel itself.
+        """
+        self._queue.append((cycle + 1 + self.latency, Credit(vn, vc)))
+        if self.watcher is not None:
+            self.watcher.incoming += 1
+
+    def send_undo(self, key: CircuitKey, cycle: int) -> None:
+        """Send an undo notice for ``key`` (dedicated or piggybacked credit)."""
+        self._queue.append((cycle + 1 + self.latency, Credit(undo_key=key)))
+        if self.watcher is not None:
+            self.watcher.incoming += 1
+
+    def arrivals(self, cycle: int) -> Iterator[Credit]:
+        queue = self._queue
+        watcher = self.watcher
+        while queue and queue[0][0] <= cycle:
+            if watcher is not None:
+                watcher.incoming -= 1
+            yield queue.popleft()[1]
+
+    def in_flight(self) -> int:
+        return len(self._queue)

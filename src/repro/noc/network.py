@@ -1,0 +1,131 @@
+"""Network assembly: routers, links, and network interfaces for a config."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.noc.flit import Message
+from repro.noc.interface import NetworkInterface
+from repro.noc.link import CreditLink, FlitLink
+from repro.noc.router import Router
+from repro.noc.topology import Mesh, Port, opposite
+from repro.sim.stats import Stats
+
+if False:  # pragma: no cover - typing only
+    from repro.sim.config import SystemConfig
+
+
+class Network:
+    """The full NoC of one simulated chip."""
+
+    def __init__(self, config: "SystemConfig", stats: Optional[Stats] = None) -> None:
+        # Imported here: repro.circuits depends on repro.noc's data types,
+        # so the policy factory cannot be a module-level import.
+        from repro.circuits.policy import make_policy
+
+        self.config = config
+        self.stats = stats if stats is not None else Stats()
+        self.mesh = Mesh(config.mesh_side)
+        self.policy = make_policy(config, self.mesh, self.stats)
+        self.routers: List[Router] = [
+            Router(node, self.mesh, config, self.policy, self.stats)
+            for node in range(self.mesh.n_nodes)
+        ]
+        self.interfaces: List[NetworkInterface] = [
+            NetworkInterface(node, self.mesh, config, self.policy, self.stats)
+            for node in range(self.mesh.n_nodes)
+        ]
+        self._wire()
+
+    def _wire(self) -> None:
+        latency = self.config.noc.link_latency
+        # Router <-> router links.
+        for node, router in enumerate(self.routers):
+            for port in router.ports:
+                if port is Port.LOCAL or port in router.out_flit:
+                    continue
+                neighbor = self.routers[self.mesh.neighbor(node, port)]
+                back = opposite(port)
+                down = FlitLink(latency)
+                up = CreditLink(latency)
+                down.watcher = neighbor
+                up.watcher = router
+                router.out_flit[port] = down
+                router.in_credit[port] = up
+                neighbor.in_flit[back] = down
+                neighbor.out_credit[back] = up
+                rev = FlitLink(latency)
+                rev_credit = CreditLink(latency)
+                rev.watcher = router
+                rev_credit.watcher = neighbor
+                neighbor.out_flit[back] = rev
+                neighbor.in_credit[back] = rev_credit
+                router.in_flit[port] = rev
+                router.out_credit[port] = rev_credit
+        # Router <-> NI (LOCAL port) links.
+        for node, router in enumerate(self.routers):
+            ni = self.interfaces[node]
+            inject = FlitLink(latency)
+            inject_credit = CreditLink(latency)
+            inject.watcher = router
+            inject_credit.watcher = ni
+            ni.to_router = inject
+            router.in_flit[Port.LOCAL] = inject
+            router.out_credit[Port.LOCAL] = inject_credit
+            ni.credit_in = inject_credit
+            eject = FlitLink(latency)
+            eject_credit = CreditLink(latency)
+            eject.watcher = ni
+            eject_credit.watcher = router
+            router.out_flit[Port.LOCAL] = eject
+            ni.from_router = eject
+            ni.credit_out = eject_credit
+            router.in_credit[Port.LOCAL] = eject_credit
+        for router in self.routers:
+            router.finalize_wiring()
+
+    # ------------------------------------------------------------------
+    def interface(self, node: int) -> NetworkInterface:
+        return self.interfaces[node]
+
+    def set_deliver(self, node: int, callback: Callable[[Message, int], None]) -> None:
+        self.interfaces[node].deliver = callback
+
+    def inject(self, msg: Message, cycle: int) -> None:
+        """Convenience injection entry point (used by traffic generators)."""
+        self.interfaces[msg.src].enqueue(msg, cycle)
+
+    def tick(self, cycle: int) -> None:
+        for router in self.routers:
+            router.tick(cycle)
+        for ni in self.interfaces:
+            ni.tick(cycle)
+
+    def in_flight(self) -> int:
+        """Flits/messages anywhere in the network or NI queues."""
+        total = 0
+        for router in self.routers:
+            total += router.buffered_flits()
+            total += len(router._st_pending)
+            for port in router.ports:
+                link = router.out_flit.get(port)
+                if link is not None:
+                    total += link.in_flight()
+            for unit in router.inputs.values():
+                total += len(unit.wait_queue)
+        for ni in self.interfaces:
+            total += ni.pending_work()
+        return total
+
+    def circuit_entries(self) -> int:
+        """Raw circuit-table occupancy (may include expired timed entries)."""
+        return sum(router.circuit_entries() for router in self.routers)
+
+    def live_circuit_entries(self, cycle: int) -> int:
+        """Circuit entries still live at ``cycle`` (expired ones purged)."""
+        total = 0
+        for router in self.routers:
+            for unit in router.inputs.values():
+                if unit.circuit_table is not None:
+                    total += unit.circuit_table.live_count(cycle)
+        return total

@@ -1,0 +1,408 @@
+"""Four-stage wormhole router with Reactive Circuits support.
+
+The baseline pipeline (paper Table 4 / Fig. 2) is:
+
+    stage 1 - routing computation and input buffering (cycle t)
+    stage 2 - virtual-channel allocation                (t+1)
+    stage 3 - switch allocation                         (t+2)
+    stage 4 - switch traversal                          (t+3)
+
+followed by one link cycle, i.e. 5 cycles/hop for packet-switched flits.
+A reply flit whose circuit is reserved at this router bypasses the whole
+pipeline: its "Circuit Check" match at the input unit sends it through the
+crossbar in its arrival cycle (2 cycles/hop with the link).  The crossbar
+prioritises circuit flits; packet flits that already won switch allocation
+retry their traversal the next cycle (section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.noc.allocators import ArbiterPool, two_phase_allocate
+from repro.noc.flit import Flit
+from repro.noc.link import CreditLink, FlitLink
+from repro.noc.routing import route_for_vn
+from repro.noc.topology import Mesh, Port
+from repro.noc.vc import InputVc, OutputVc, VcStage
+from repro.sim.kernel import SimulationError
+from repro.sim.stats import Stats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.circuits.table import CircuitTable
+    from repro.sim.config import SystemConfig
+
+#: Effectively infinite credit count used for ejection (NI sink) ports.
+EJECTION_CREDITS = 1 << 30
+
+
+class InputUnit:
+    """All per-input-port state: VCs, circuit table, ideal-mode wait queue."""
+
+    __slots__ = ("port", "vcs", "circuit_table", "wait_queue", "busy_count")
+
+    def __init__(self, port: Port, vcs: List[List[InputVc]]) -> None:
+        self.port = port
+        #: vcs[vn][vc_index]
+        self.vcs = vcs
+        #: Installed by circuit policies that reserve state at routers.
+        self.circuit_table: Optional["CircuitTable"] = None
+        #: Ideal mode: flits waiting for a free output port (FIFO).
+        self.wait_queue: List[Flit] = []
+        #: Non-IDLE VCs at this port (lets allocation skip idle ports).
+        self.busy_count = 0
+
+
+class OutputUnit:
+    """Per-output-port state: downstream VC credit/allocation bookkeeping."""
+
+    __slots__ = ("port", "vcs")
+
+    def __init__(self, port: Port, vcs: List[List[OutputVc]]) -> None:
+        self.port = port
+        self.vcs = vcs
+
+
+class Router:
+    """One mesh router.
+
+    Wiring (set by :class:`~repro.noc.network.Network`): for each port,
+    ``in_flit[p]`` delivers flits from the neighbour/NI, ``out_flit[p]``
+    carries flits out, ``in_credit[p]`` returns credits for flits we sent
+    out of ``p``, and ``out_credit[p]`` returns credits (and undo notices)
+    for flits we received on ``p``.
+    """
+
+    def __init__(self, node: int, mesh: Mesh, config: "SystemConfig",
+                 policy, stats: Stats) -> None:
+        self.node = node
+        self.mesh = mesh
+        self.config = config
+        self.policy = policy
+        self.stats = stats
+        noc = config.noc
+        self.ports: List[Port] = mesh.router_ports(node)
+        self.inputs: Dict[Port, InputUnit] = {}
+        self.outputs: Dict[Port, OutputUnit] = {}
+        depth = noc.buffer_depth_flits
+        self._bufferless_vcs = policy.bufferless_vcs()  # set of (vn, vc)
+        for port in self.ports:
+            in_vcs: List[List[InputVc]] = []
+            out_vcs: List[List[OutputVc]] = []
+            for vn, count in enumerate(noc.vcs_per_vn):
+                row_in: List[InputVc] = []
+                row_out: List[OutputVc] = []
+                for index in range(count):
+                    vc_depth = 0 if (vn, index) in self._bufferless_vcs else depth
+                    row_in.append(InputVc(vn, index, vc_depth))
+                    if port is Port.LOCAL:
+                        credits = EJECTION_CREDITS
+                    else:
+                        credits = vc_depth
+                    row_out.append(OutputVc(vn, index, credits))
+                in_vcs.append(row_in)
+                out_vcs.append(row_out)
+            self.inputs[port] = InputUnit(port, in_vcs)
+            self.outputs[port] = OutputUnit(port, out_vcs)
+        policy.attach_router(self)
+        # Channels, wired by the Network.
+        self.in_flit: Dict[Port, FlitLink] = {}
+        self.out_flit: Dict[Port, FlitLink] = {}
+        self.in_credit: Dict[Port, CreditLink] = {}
+        self.out_credit: Dict[Port, CreditLink] = {}
+        # Pipeline state.
+        self._st_pending: List[Tuple[int, Port, int, int]] = []
+        self._va_p1 = ArbiterPool()
+        self._va_p2 = ArbiterPool()
+        self._sa_in = ArbiterPool()
+        self._sa_out = ArbiterPool()
+        self._out_claimed = 0
+        self._in_claimed = 0
+        #: Count of VCs not in IDLE stage (fast-path idle check).
+        self._busy_vcs = 0
+        #: Flits/credits in flight toward this router (link watcher).
+        self.incoming = 0
+        #: Ideal-mode wait queues in use (kept non-empty check cheap).
+        self._waiting = 0
+        #: DOR orientation shared with the circuit policies.
+        self._request_xy = noc.request_xy
+        #: Flits forwarded through this crossbar (utilisation heatmaps).
+        self.forwarded = 0
+        #: Optional debug tracer: fn(cycle, router, out_port, flit).
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # Helpers used by policies and the network interface machinery.
+    # ------------------------------------------------------------------
+    def vc(self, port: Port, vn: int, index: int) -> InputVc:
+        return self.inputs[port].vcs[vn][index]
+
+    def output_vc(self, port: Port, vn: int, index: int) -> OutputVc:
+        return self.outputs[port].vcs[vn][index]
+
+    def claim_path(self, in_port: Port, out_port: Port) -> bool:
+        """Atomically claim crossbar input+output lines for this cycle."""
+        out_bit = 1 << out_port
+        in_bit = 1 << in_port
+        if (self._out_claimed & out_bit) or (self._in_claimed & in_bit):
+            return False
+        self._out_claimed |= out_bit
+        self._in_claimed |= in_bit
+        return True
+
+    def forward_flit(self, out_port: Port, flit: Flit, cycle: int) -> None:
+        """Send ``flit`` through the crossbar onto ``out_port``'s link."""
+        self.out_flit[out_port].send(flit, cycle)
+        self.forwarded += 1
+        self.stats.bump("noc.xbar_traversals")
+        self.stats.bump("noc.link_flits")
+        if self.tracer is not None:
+            self.tracer(cycle, self, out_port, flit)
+
+    def return_credit(self, in_port: Port, vn: int, vc_index: int, cycle: int) -> None:
+        """Return one buffer credit upstream for ``in_port``'s (vn, vc)."""
+        self.out_credit[in_port].send_credit(vn, vc_index, cycle)
+        self.stats.bump("noc.credits_sent")
+
+    def send_undo(self, out_port: Port, key, cycle: int) -> None:
+        """Propagate an undo notice toward the circuit destination."""
+        self.out_credit[out_port].send_undo(key, cycle)
+        self.stats.bump("circuit.undo_hops")
+
+    def vc_became_busy(self, port: Port) -> None:
+        self._busy_vcs += 1
+        self.inputs[port].busy_count += 1
+
+    def vc_became_idle(self, port: Port) -> None:
+        self._busy_vcs -= 1
+        self.inputs[port].busy_count -= 1
+
+    def route_reply(self, dest: int) -> Port:
+        """Reply-VN route from this router toward ``dest``."""
+        if dest == self.node:
+            return Port.LOCAL
+        return route_for_vn(self.mesh, 1, self.node, dest, self._request_xy)
+
+    def finalize_wiring(self) -> None:
+        """Precompute hot-loop port/link lists (called once by Network)."""
+        self._credit_pulls = [
+            (port, self.in_credit[port]) for port in self.ports
+            if port in self.in_credit
+        ]
+        self._flit_pulls = [
+            (port, self.in_flit[port]) for port in self.ports
+            if port in self.in_flit
+        ]
+        self._input_units = [(port, self.inputs[port]) for port in self.ports]
+
+    # ------------------------------------------------------------------
+    # Tick.
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        if not self._has_work():
+            return
+        self._out_claimed = 0
+        self._in_claimed = 0
+        self._pull_credits(cycle)
+        self.policy.retry_waiting(self, cycle)
+        self._pull_flits(cycle)
+        self._switch_traversal(cycle)
+        self._switch_allocation(cycle)
+        self._vc_allocation(cycle)
+
+    def _has_work(self) -> bool:
+        if self._busy_vcs or self._st_pending or self.incoming:
+            return True
+        if self._waiting:
+            for _port, unit in self._input_units:
+                if unit.wait_queue:
+                    return True
+        return False
+
+    # -- credits ---------------------------------------------------------
+    def _pull_credits(self, cycle: int) -> None:
+        for port, link in self._credit_pulls:
+            queue = link._queue
+            if not queue or queue[0][0] > cycle:
+                continue
+            for credit in link.arrivals(cycle):
+                if credit.is_buffer_credit:
+                    self.outputs[port].vcs[credit.vn][credit.vc].credits += 1
+                if credit.undo_key is not None:
+                    self.policy.handle_undo(self, port, credit.undo_key, cycle)
+
+    # -- stage 1: arrivals (circuit check, then buffering + RC) -----------
+    def _pull_flits(self, cycle: int) -> None:
+        for port, link in self._flit_pulls:
+            queue = link._queue
+            if not queue or queue[0][0] > cycle:
+                continue
+            for flit in link.arrivals(cycle):
+                if self.policy.handle_arrival(self, port, flit, cycle):
+                    continue
+                self._buffer_flit(port, flit, cycle)
+
+    def _buffer_flit(self, port: Port, flit: Flit, cycle: int) -> None:
+        vn = flit.msg.vn
+        vc = self.inputs[port].vcs[vn][flit.dst_vc]
+        if vc.depth == 0:
+            raise SimulationError(
+                f"packet flit {flit!r} targeted bufferless VC "
+                f"({vn},{flit.dst_vc}) at router {self.node} port {port.name}"
+            )
+        if len(vc.buffer) >= vc.depth:
+            raise SimulationError(
+                f"buffer overflow at router {self.node} port {port.name} "
+                f"vc ({vn},{flit.dst_vc})"
+            )
+        vc.buffer.append((flit, cycle, flit.dst_vc))
+        self.stats.bump("noc.buffer_writes")
+        if flit.is_head and vc.stage is VcStage.IDLE and len(vc.buffer) == 1:
+            self.vc_became_busy(port)
+            self._route_compute(vc, flit, cycle)
+
+    def _route_compute(self, vc: InputVc, flit: Flit, cycle: int) -> None:
+        """Stage 1 route computation; the caller manages busy accounting."""
+        vc.route = route_for_vn(self.mesh, flit.msg.vn, self.node,
+                                flit.msg.dest, self._request_xy)
+        vc.stage = VcStage.VA
+        vc.ready_cycle = cycle + 1
+        self.stats.bump("noc.route_computations")
+
+    # -- stage 4: switch traversal ----------------------------------------
+    def _switch_traversal(self, cycle: int) -> None:
+        if not self._st_pending:
+            return
+        remaining: List[Tuple[int, Port, int, int]] = []
+        for item in self._st_pending:
+            st_cycle, in_port, vn, vc_index = item
+            if st_cycle > cycle:
+                remaining.append(item)
+                continue
+            vc = self.inputs[in_port].vcs[vn][vc_index]
+            out_port = vc.route
+            assert out_port is not None and vc.buffer
+            if not self.claim_path(in_port, out_port):
+                remaining.append(item)  # crossbar busy (circuit priority)
+                continue
+            flit, _arrived, credit_vc = vc.buffer.popleft()
+            self.stats.bump("noc.buffer_reads")
+            flit.dst_vc = vc.out_vc if vc.out_vc is not None else 0
+            self.forward_flit(out_port, flit, cycle)
+            self.return_credit(in_port, vn, credit_vc, cycle)
+            vc.granted_pending = False
+            if flit.is_tail:
+                out_vc = self.outputs[out_port].vcs[vn][vc.out_vc]
+                out_vc.allocated_to = None
+                self.policy.on_tail_departure(self, in_port, flit, cycle)
+                vc.reset_for_next_packet(cycle)
+                if vc.buffer:
+                    # Non-atomic buffers: the next packet is already queued;
+                    # its head starts route computation now (stays busy).
+                    next_head = vc.buffer[0][0]
+                    assert next_head.is_head
+                    self._route_compute(vc, next_head, cycle)
+                else:
+                    self.vc_became_idle(in_port)
+        self._st_pending = remaining
+
+    # -- stage 3: switch allocation ----------------------------------------
+    def _switch_allocation(self, cycle: int) -> None:
+        if not self._busy_vcs:
+            return
+        port_winners: Dict[Port, Tuple[int, int]] = {}
+        for port, unit in self._input_units:
+            if not unit.busy_count:
+                continue
+            candidates: List[Tuple[int, int]] = []
+            for vn_row in unit.vcs:
+                for vc in vn_row:
+                    if (
+                        vc.stage is VcStage.ACTIVE
+                        and not vc.granted_pending
+                        and vc.ready_cycle <= cycle
+                        and vc.head_ready(cycle)
+                        and self._downstream_credit(vc)
+                    ):
+                        candidates.append((vc.vn, vc.index))
+            if candidates:
+                choice = self._sa_in.pick(port, candidates)
+                if choice is not None:
+                    port_winners[port] = choice
+        if not port_winners:
+            return
+        by_output: Dict[Port, List[Port]] = {}
+        for port, (vn, vc_index) in port_winners.items():
+            route = self.inputs[port].vcs[vn][vc_index].route
+            by_output.setdefault(route, []).append(port)
+        for out_port, contenders in by_output.items():
+            winner = self._sa_out.pick(out_port, contenders)
+            if winner is None:
+                continue
+            vn, vc_index = port_winners[winner]
+            vc = self.inputs[winner].vcs[vn][vc_index]
+            out_vc = self.outputs[out_port].vcs[vn][vc.out_vc]
+            if out_port is not Port.LOCAL:
+                out_vc.credits -= 1
+            vc.granted_pending = True
+            self._st_pending.append((cycle + 1, winner, vn, vc_index))
+            self.stats.bump("noc.sa_grants")
+
+    def _downstream_credit(self, vc: InputVc) -> bool:
+        out_vc = self.outputs[vc.route].vcs[vc.vn][vc.out_vc]
+        return out_vc.credits > 0
+
+    # -- stage 2: VC allocation ---------------------------------------------
+    def _vc_allocation(self, cycle: int) -> None:
+        if not self._busy_vcs:
+            return
+        requests: Dict[Tuple[Port, int, int], List[Tuple[Port, int, int]]] = {}
+        for port, unit in self._input_units:
+            if not unit.busy_count:
+                continue
+            for vn_row in unit.vcs:
+                for vc in vn_row:
+                    if vc.stage is not VcStage.VA or vc.ready_cycle > cycle:
+                        continue
+                    options = [
+                        (vc.route, vc.vn, index)
+                        for index in self.policy.allocatable_vcs(vc.vn)
+                        if self.outputs[vc.route].vcs[vc.vn][index].is_free
+                    ]
+                    if options:
+                        requests[(port, vc.vn, vc.index)] = options
+        if not requests:
+            return
+        grants = two_phase_allocate(requests, self._va_p1, self._va_p2)
+        for (port, vn, vc_index), (out_port, _vn, out_index) in grants.items():
+            vc = self.inputs[port].vcs[vn][vc_index]
+            vc.stage = VcStage.ACTIVE
+            vc.out_vc = out_index
+            vc.ready_cycle = cycle + 1
+            self.outputs[out_port].vcs[vn][out_index].allocated_to = (
+                port, vn, vc_index,
+            )
+            self.stats.bump("noc.va_grants")
+            head = vc.head_flit()
+            assert head is not None
+            if head.msg.builds_circuit and vn == 0:
+                # Circuit reservation happens in parallel with VA (sec. 4.1).
+                self.policy.on_request_va(self, port, head.msg, cycle)
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests.
+    # ------------------------------------------------------------------
+    def buffered_flits(self) -> int:
+        return sum(
+            len(vc.buffer)
+            for unit in self.inputs.values()
+            for vn_row in unit.vcs
+            for vc in vn_row
+        )
+
+    def circuit_entries(self) -> int:
+        total = 0
+        for unit in self.inputs.values():
+            if unit.circuit_table is not None:
+                total += len(unit.circuit_table.entries)
+        return total

@@ -1,0 +1,69 @@
+"""Dimension-order routing.
+
+Requests route XY and replies route YX (section 4.1) so that a request and
+its reply traverse exactly the same set of routers, letting the request
+reserve the reply's circuit hop by hop.  Both are DOR and each owns a
+virtual network, so the combination is deadlock-free.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.noc.topology import Mesh, Port
+
+
+def route_xy(mesh: Mesh, here: int, dest: int) -> Port:
+    """Next output port under XY DOR (x first, then y)."""
+    hx, hy = mesh.coords(here)
+    dx, dy = mesh.coords(dest)
+    if hx < dx:
+        return Port.EAST
+    if hx > dx:
+        return Port.WEST
+    if hy < dy:
+        return Port.SOUTH
+    if hy > dy:
+        return Port.NORTH
+    return Port.LOCAL
+
+
+def route_yx(mesh: Mesh, here: int, dest: int) -> Port:
+    """Next output port under YX DOR (y first, then x)."""
+    hx, hy = mesh.coords(here)
+    dx, dy = mesh.coords(dest)
+    if hy < dy:
+        return Port.SOUTH
+    if hy > dy:
+        return Port.NORTH
+    if hx < dx:
+        return Port.EAST
+    if hx > dx:
+        return Port.WEST
+    return Port.LOCAL
+
+
+def route_for_vn(mesh: Mesh, vn: int, here: int, dest: int,
+                 request_xy: bool = True) -> Port:
+    """Route by virtual network: requests and replies use opposite DOR.
+
+    The default orientation is the paper's (requests XY, replies YX); the
+    mechanism works with either assignment as long as the two VNs use
+    opposite dimension orders, so a request and its reply traverse the
+    same routers (section 4.2: "any deterministic routing").
+    """
+    if (vn == 0) == request_xy:
+        return route_xy(mesh, here, dest)
+    return route_yx(mesh, here, dest)
+
+
+def path_routers(mesh: Mesh, vn: int, src: int, dest: int,
+                 request_xy: bool = True) -> List[int]:
+    """Ordered list of routers a message traverses, endpoints included."""
+    path = [src]
+    here = src
+    while here != dest:
+        port = route_for_vn(mesh, vn, here, dest, request_xy)
+        here = mesh.neighbor(here, port)
+        path.append(here)
+    return path

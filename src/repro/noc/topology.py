@@ -1,0 +1,121 @@
+"""2-D mesh topology and port naming.
+
+Node ``i`` sits at ``(x, y) = (i % side, i // side)``.  Port directions are
+relative to the router: EAST increases x, SOUTH increases y.  Every router
+has a LOCAL port connecting its tile's network interface.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, List, Tuple
+
+
+class Port(enum.IntEnum):
+    NORTH = 0
+    SOUTH = 1
+    EAST = 2
+    WEST = 3
+    LOCAL = 4
+
+
+LOCAL = Port.LOCAL
+
+_OPPOSITE = {
+    Port.NORTH: Port.SOUTH,
+    Port.SOUTH: Port.NORTH,
+    Port.EAST: Port.WEST,
+    Port.WEST: Port.EAST,
+    Port.LOCAL: Port.LOCAL,
+}
+
+_DELTAS: Dict[Port, Tuple[int, int]] = {
+    Port.NORTH: (0, -1),
+    Port.SOUTH: (0, 1),
+    Port.EAST: (1, 0),
+    Port.WEST: (-1, 0),
+}
+
+
+def opposite(port: Port) -> Port:
+    """The port a neighbouring router uses for the reverse direction."""
+    return _OPPOSITE[port]
+
+
+class Mesh:
+    """Square 2-D mesh of ``side * side`` nodes."""
+
+    def __init__(self, side: int) -> None:
+        if side < 1:
+            raise ValueError("mesh side must be >= 1")
+        self.side = side
+        self.n_nodes = side * side
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        return node % self.side, node // self.side
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.side and 0 <= y < self.side):
+            raise ValueError(f"({x}, {y}) outside {self.side}x{self.side} mesh")
+        return y * self.side + x
+
+    def neighbor(self, node: int, port: Port) -> int:
+        """Node reached by leaving ``node`` through ``port`` (not LOCAL)."""
+        dx, dy = _DELTAS[port]
+        x, y = self.coords(node)
+        return self.node_at(x + dx, y + dy)
+
+    def has_neighbor(self, node: int, port: Port) -> bool:
+        if port is Port.LOCAL:
+            return False
+        dx, dy = _DELTAS[port]
+        x, y = self.coords(node)
+        return 0 <= x + dx < self.side and 0 <= y + dy < self.side
+
+    def router_ports(self, node: int) -> List[Port]:
+        """All ports of ``node``'s router, LOCAL included."""
+        ports = [p for p in (Port.NORTH, Port.SOUTH, Port.EAST, Port.WEST)
+                 if self.has_neighbor(node, p)]
+        ports.append(Port.LOCAL)
+        return ports
+
+    def distance(self, a: int, b: int) -> int:
+        """Manhattan hop distance between two nodes."""
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def edge_nodes(self) -> Iterator[int]:
+        """Nodes on the perimeter of the mesh (memory controller sites)."""
+        for node in range(self.n_nodes):
+            x, y = self.coords(node)
+            if x in (0, self.side - 1) or y in (0, self.side - 1):
+                yield node
+
+
+def memory_controller_nodes(mesh: Mesh, count: int) -> List[int]:
+    """Place ``count`` memory controllers spread along the mesh edges.
+
+    The paper distributes 4 controllers on the chip edges for both 16- and
+    64-node chips; we pick the midpoints of the four sides (falling back to
+    evenly spaced perimeter nodes for other counts).
+    """
+    side = mesh.side
+    mid = side // 2
+    preferred = [
+        mesh.node_at(mid, 0),  # top edge
+        mesh.node_at(0, mid),  # left edge
+        mesh.node_at(side - 1, mid),  # right edge
+        mesh.node_at(mid, side - 1),  # bottom edge
+    ]
+    if count <= 4:
+        picks: List[int] = []
+        for node in preferred:
+            if node not in picks:
+                picks.append(node)
+            if len(picks) == count:
+                return picks
+    perimeter = list(dict.fromkeys(list(mesh.edge_nodes())))
+    step = max(1, len(perimeter) // count)
+    picks = [perimeter[(i * step) % len(perimeter)] for i in range(count)]
+    return list(dict.fromkeys(picks))[:count]

@@ -1,0 +1,120 @@
+"""Synthetic request-reply traffic driver for NoC-only studies.
+
+Drives a :class:`~repro.noc.network.Network` directly - no cores, no
+coherence - with a Poisson-like request stream whose replies mimic the
+protocol's dominant pattern (1-flit request -> 5-flit reply after a fixed
+turnaround).  Used for controlled load sweeps: the paper argues circuits
+stop being buildable "under very adverse conditions, with heavy traffic
+loads" and that timed circuits raise that congestion threshold; this
+driver lets an experiment dial the injection rate directly.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import List, Optional, Tuple
+
+from repro.noc.flit import Message
+from repro.noc.network import Network
+from repro.sim.config import SystemConfig
+
+
+class RequestReplyTraffic:
+    """Uniform-random request-reply load generator on a raw network."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        requests_per_node_per_kcycle: float,
+        turnaround: int = 7,
+        reply_flits: int = 5,
+        seed: int = 1,
+    ) -> None:
+        self.config = config
+        self.net = Network(config)
+        self.rate = requests_per_node_per_kcycle / 1000.0
+        self.turnaround = turnaround
+        self.reply_flits = reply_flits
+        self.rng = Random(seed)
+        self.cycle = 0
+        self.requests_sent = 0
+        self.replies_received = 0
+        self.reply_latencies: List[int] = []
+        self._timers: List[Tuple[int, Message]] = []
+        self._next_addr = 0x40
+        for node in range(self.net.mesh.n_nodes):
+            self.net.set_deliver(node, self._deliver)
+
+    # ------------------------------------------------------------------
+    def _deliver(self, msg: Message, cycle: int) -> None:
+        if msg.vn == 0:
+            reply = Message(msg.dest, msg.src, 1, self.reply_flits, "L2_REPLY")
+            reply.circuit_eligible = True
+            reply.circuit_key = msg.circuit_key
+            self._timers.append((cycle + self.turnaround, reply))
+        else:
+            self.replies_received += 1
+            self.reply_latencies.append(msg.network_latency)
+
+    def _maybe_inject(self) -> None:
+        n = self.net.mesh.n_nodes
+        for src in range(n):
+            if self.rng.random() >= self.rate:
+                continue
+            dest = self.rng.randrange(n - 1)
+            if dest >= src:
+                dest += 1
+            msg = Message(src, dest, 0, 1, "REQUEST")
+            msg.builds_circuit = True
+            self._next_addr += 0x40
+            msg.circuit_key = (src, self._next_addr, msg.uid)
+            msg.reply_flits = self.reply_flits
+            msg.expected_turnaround = self.turnaround
+            self.net.inject(msg, self.cycle)
+            self.requests_sent += 1
+
+    def run(self, cycles: int) -> None:
+        """Inject at the configured rate for ``cycles`` cycles."""
+        for _ in range(cycles):
+            self.cycle += 1
+            due = [t for t in self._timers if t[0] <= self.cycle]
+            for item in due:
+                self._timers.remove(item)
+                self.net.inject(item[1], self.cycle)
+            self._maybe_inject()
+            self.net.tick(self.cycle)
+
+    def drain(self, max_cycles: int = 100_000) -> None:
+        """Stop injecting and let the network empty."""
+        for _ in range(max_cycles):
+            if not self._timers and self.net.in_flight() == 0:
+                return
+            self.cycle += 1
+            due = [t for t in self._timers if t[0] <= self.cycle]
+            for item in due:
+                self._timers.remove(item)
+                self.net.inject(item[1], self.cycle)
+            self.net.tick(self.cycle)
+        raise RuntimeError("traffic driver failed to drain")
+
+    # ------------------------------------------------------------------
+    def circuit_success_rate(self) -> Optional[float]:
+        """Fraction of eligible replies that rode their circuit."""
+        s = self.net.stats
+        total = s.counter("circuit.replies_total")
+        if not total:
+            return None
+        return s.counter("circuit.outcome.on_circuit") / total
+
+    def mean_reply_latency(self) -> float:
+        if not self.reply_latencies:
+            return 0.0
+        return sum(self.reply_latencies) / len(self.reply_latencies)
+
+    def offered_load_flits_per_kcycle_node(self) -> float:
+        """Measured injected flits per 1000 cycles per node."""
+        s = self.net.stats
+        n = self.net.mesh.n_nodes
+        if not self.cycle:
+            return 0.0
+        return 1000.0 * s.counter("noc.flits_injected") / self.cycle / n

@@ -1,0 +1,89 @@
+"""Per-virtual-channel state for router input and output units.
+
+Input VCs hold the buffer and the packet's progress through the pipeline
+(the paper's G/R/O/C fields); output VCs hold allocation state and the
+downstream credit count (G/I/C fields).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.noc.flit import Flit
+from repro.noc.topology import Port
+
+
+class VcStage(enum.Enum):
+    """Global state (G) of an input VC."""
+
+    IDLE = "I"
+    VA = "V"  # route computed, waiting for an output VC
+    ACTIVE = "A"  # output VC granted, flits moving through SA/ST
+
+
+class InputVc:
+    """One input virtual channel: buffer plus pipeline state."""
+
+    __slots__ = (
+        "vn",
+        "index",
+        "depth",
+        "buffer",
+        "stage",
+        "route",
+        "out_vc",
+        "ready_cycle",
+        "granted_pending",
+    )
+
+    def __init__(self, vn: int, index: int, depth: int) -> None:
+        self.vn = vn
+        self.index = index
+        self.depth = depth
+        #: (flit, arrival_cycle, credit_vc) in arrival order; ``credit_vc``
+        #: is the VC whose upstream credit the flit consumed (it can differ
+        #: from this VC when a fragmented circuit redirects an arrival).
+        self.buffer: Deque[Tuple[Flit, int, int]] = deque()
+        self.stage = VcStage.IDLE
+        self.route: Optional[Port] = None
+        self.out_vc: Optional[int] = None
+        #: First cycle at which the current pipeline stage may act.
+        self.ready_cycle = 0
+        #: A flit won SA and awaits switch traversal.
+        self.granted_pending = False
+
+    def occupancy(self) -> int:
+        return len(self.buffer)
+
+    def head_flit(self) -> Optional[Flit]:
+        return self.buffer[0][0] if self.buffer else None
+
+    def head_ready(self, cycle: int) -> bool:
+        """Head flit was buffered in an earlier cycle (1-cycle buffer write)."""
+        return bool(self.buffer) and self.buffer[0][1] < cycle
+
+    def reset_for_next_packet(self, cycle: int) -> None:
+        """Tail left: clear per-packet state (caller restarts a queued head)."""
+        self.route = None
+        self.out_vc = None
+        self.granted_pending = False
+        self.stage = VcStage.IDLE
+
+
+class OutputVc:
+    """Downstream VC bookkeeping at an output unit."""
+
+    __slots__ = ("vn", "index", "credits", "allocated_to")
+
+    def __init__(self, vn: int, index: int, credits: int) -> None:
+        self.vn = vn
+        self.index = index
+        self.credits = credits
+        #: (input_port, vn, vc_index) of the packet owning this output VC.
+        self.allocated_to: Optional[Tuple[Port, int, int]] = None
+
+    @property
+    def is_free(self) -> bool:
+        return self.allocated_to is None

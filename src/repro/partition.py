@@ -1,0 +1,156 @@
+"""Partitioned chips (the paper's section-5.5 scalability argument).
+
+The paper argues that future many-core chips will be space-partitioned
+(citing Tilera's Multicore Hardwall) and that Reactive Circuits can then
+"be used independently inside each partition, eliminating concerns about
+the need to scale to a larger number of cores".
+
+This module builds that usage model: the mesh is split into rectangular
+partitions, each running its own workload against its own slice of the
+shared L2 (addresses are homed inside the owning partition, so request /
+reply traffic never crosses a partition boundary - XY/YX dimension-order
+routing keeps minimal paths inside any rectangle).  Only memory traffic
+leaves a partition, as on real tiled chips where DRAM controllers sit on
+the die edge and are shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cpu.trace import AccessStream
+from repro.cpu.workloads import WorkloadProfile
+from repro.noc.topology import Mesh
+from repro.sim.config import SystemConfig
+from repro.sim.rng import DeterministicRng
+from repro.system import CmpSystem
+
+#: Address-space stride separating partitions' shared regions (lines).
+_PARTITION_SHARED_STRIDE = 1 << 20
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A rectangle of tiles running one workload."""
+
+    workload: WorkloadProfile
+    x0: int
+    y0: int
+    width: int
+    height: int
+
+    def nodes(self, mesh: Mesh) -> List[int]:
+        out = []
+        for y in range(self.y0, self.y0 + self.height):
+            for x in range(self.x0, self.x0 + self.width):
+                out.append(mesh.node_at(x, y))
+        return out
+
+
+def quadrants(mesh: Mesh, workloads: Sequence[WorkloadProfile]
+              ) -> List[Partition]:
+    """Split a mesh into four equal quadrants running ``workloads``."""
+    if len(workloads) != 4:
+        raise ValueError("quadrants() needs exactly four workloads")
+    half = mesh.side // 2
+    if half * 2 != mesh.side:
+        raise ValueError("mesh side must be even for quadrants")
+    corners = [(0, 0), (half, 0), (0, half), (half, half)]
+    return [
+        Partition(workload, x, y, half, half)
+        for workload, (x, y) in zip(workloads, corners)
+    ]
+
+
+def build_partitioned_system(config: SystemConfig,
+                             partitions: Sequence[Partition]) -> CmpSystem:
+    """A CMP whose coherence domains are isolated per partition.
+
+    Every tile must belong to exactly one partition.  Each partition's
+    addresses (private regions, its own shared region) are homed on its
+    own L2 banks, so all request/reply/forward/invalidate traffic - and
+    therefore every reactive circuit - stays inside the partition.
+    """
+    mesh = Mesh(config.mesh_side)
+    line = config.cache.line_bytes
+    owner_of_node: Dict[int, int] = {}
+    for index, part in enumerate(partitions):
+        for node in part.nodes(mesh):
+            if node in owner_of_node:
+                raise ValueError(f"node {node} assigned to two partitions")
+            owner_of_node[node] = index
+    if len(owner_of_node) != mesh.n_nodes:
+        missing = set(range(mesh.n_nodes)) - set(owner_of_node)
+        raise ValueError(f"nodes without a partition: {sorted(missing)}")
+
+    rng = DeterministicRng(config.seed)
+    part_nodes: List[List[int]] = [p.nodes(mesh) for p in partitions]
+    streams: List[Optional[AccessStream]] = [None] * mesh.n_nodes
+    for index, part in enumerate(partitions):
+        shared_base = index * _PARTITION_SHARED_STRIDE
+        part_rng = rng.stream(f"partition/{index}/{part.workload.name}")
+        local = part.workload.streams(len(part_nodes[index]), line, part_rng)
+        for stream, node in zip(local, part_nodes[index]):
+            # Re-base the stream onto the global core id and the
+            # partition's shared-region window.
+            rebased = AccessStream(stream.params, node, line,
+                                   stream.rng, shared_base_line=shared_base)
+            streams[node] = rebased
+
+    #: Home addresses on the banks of the partition that owns them.  The
+    #: partition is identified from the address itself: private regions
+    #: encode their core (hence partition), shared regions their window.
+    def home_of(addr: int) -> int:
+        block = addr // line
+        part_index = _partition_of_block(block, owner_of_node, streams)
+        nodes = part_nodes[part_index]
+        return nodes[block % len(nodes)]
+
+    def _partition_of_block(block: int, owners, streams_) -> int:
+        from repro.cpu.trace import _COLD_BASE_LINE, _PRIVATE_BASE_LINE, \
+            _PRIVATE_SPAN_LINES
+
+        if block >= _COLD_BASE_LINE:
+            core = (block - _COLD_BASE_LINE) // _PRIVATE_SPAN_LINES
+            return owners[min(core, mesh.n_nodes - 1)]
+        if block >= _PRIVATE_BASE_LINE:
+            core = (block - _PRIVATE_BASE_LINE) // _PRIVATE_SPAN_LINES
+            return owners[min(core, mesh.n_nodes - 1)]
+        return min(block // _PARTITION_SHARED_STRIDE, len(partitions) - 1)
+
+    system = CmpSystem(config, streams=streams, home_of=home_of)
+    system.partitions = list(partitions)  # type: ignore[attr-defined]
+    system.partition_nodes = part_nodes  # type: ignore[attr-defined]
+    return system
+
+
+def install_crossing_counter(system: CmpSystem) -> None:
+    """Count delivered messages whose endpoints sit in different
+    partitions (memory traffic excluded).  Call before running; results
+    land in ``partition.crossings`` / ``partition.messages``."""
+    from repro.coherence.messages import Kind
+
+    owner: Dict[int, int] = {}
+    for index, nodes in enumerate(system.partition_nodes):
+        for node in nodes:
+            owner[node] = index
+    memory_kinds = {Kind.MEM_READ, Kind.WB_L2, Kind.MEMORY_DATA,
+                    Kind.MEMORY_ACK}
+    for ni in system.network.interfaces:
+        inner = ni.deliver
+
+        def wrapped(msg, cycle, _inner=inner):
+            if msg.kind not in memory_kinds:
+                system.stats.bump("partition.messages")
+                if owner[msg.src] != owner[msg.dest]:
+                    system.stats.bump("partition.crossings")
+            _inner(msg, cycle)
+
+        ni.deliver = wrapped
+
+
+def traffic_crosses_partitions(system: CmpSystem) -> Tuple[int, int]:
+    """(cross-partition, total) coherence messages delivered so far."""
+    return (system.stats.counter("partition.crossings"),
+            system.stats.counter("partition.messages"))

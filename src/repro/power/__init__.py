@@ -1,0 +1,12 @@
+"""DSENT-substitute analytical area and energy models for the NoC."""
+
+from repro.power.area import RouterAreaModel, router_area, area_savings
+from repro.power.energy import NetworkEnergyModel, network_energy
+
+__all__ = [
+    "NetworkEnergyModel",
+    "RouterAreaModel",
+    "area_savings",
+    "network_energy",
+    "router_area",
+]

@@ -1,0 +1,28 @@
+"""Simulation kernel: cycle-driven scheduler, configuration, RNG, statistics."""
+
+from repro.sim.config import (
+    CacheConfig,
+    CircuitConfig,
+    CircuitMode,
+    NocConfig,
+    SystemConfig,
+    Variant,
+    variant_config,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import MeanStat, Stats
+
+__all__ = [
+    "CacheConfig",
+    "CircuitConfig",
+    "CircuitMode",
+    "DeterministicRng",
+    "MeanStat",
+    "NocConfig",
+    "Simulator",
+    "Stats",
+    "SystemConfig",
+    "Variant",
+    "variant_config",
+]

@@ -1,0 +1,171 @@
+"""Statistics accumulation shared by all subsystems.
+
+A :class:`Stats` object is a flat namespace of integer counters plus mean
+accumulators, deliberately simple so hot paths can bump plain dict entries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping, Tuple
+
+
+class MeanStat:
+    """Streaming mean (sum + count), mergeable across runs."""
+
+    __slots__ = ("total", "count")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, value: float, weight: int = 1) -> None:
+        self.total += value
+        self.count += weight
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "MeanStat") -> None:
+        self.total += other.total
+        self.count += other.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MeanStat(mean={self.mean:.3f}, n={self.count})"
+
+
+class Histogram:
+    """Sparse integer-bucket histogram with percentile queries."""
+
+    __slots__ = ("buckets", "count")
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        bucket = int(value)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+
+    def percentile(self, p: float) -> float:
+        """Value at percentile ``p`` in [0, 100] (0 for empty histograms)."""
+        if not self.count:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        target = max(1, int(round(self.count * p / 100.0)))
+        seen = 0
+        for bucket in sorted(self.buckets):
+            seen += self.buckets[bucket]
+            if seen >= target:
+                return float(bucket)
+        return float(max(self.buckets))
+
+    @property
+    def mean(self) -> float:
+        if not self.count:
+            return 0.0
+        return sum(b * n for b, n in self.buckets.items()) / self.count
+
+    @property
+    def max(self) -> float:
+        return float(max(self.buckets)) if self.buckets else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        for bucket, n in other.buckets.items():
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + n
+        self.count += other.count
+
+
+class Stats:
+    """Counters, means and histograms, keyed by plain strings.
+
+    Use ``bump`` for event counts, ``observe`` for latency-style samples,
+    and ``record`` when the full distribution matters (percentiles).  Keys
+    use a ``subsystem.metric`` convention, e.g. ``noc.flits_injected`` or
+    ``circuit.replies_on_circuit``.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = defaultdict(int)
+        self.means: Dict[str, MeanStat] = defaultdict(MeanStat)
+        self.histograms: Dict[str, Histogram] = defaultdict(Histogram)
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        self.counters[key] += amount
+
+    def observe(self, key: str, value: float, weight: int = 1) -> None:
+        self.means[key].add(value, weight)
+
+    def record(self, key: str, value: float) -> None:
+        """Observe into both the mean and the distribution for ``key``."""
+        self.means[key].add(value)
+        self.histograms[key].add(value)
+
+    def percentile(self, key: str, p: float) -> float:
+        hist = self.histograms.get(key)
+        return hist.percentile(p) if hist else 0.0
+
+    def counter(self, key: str) -> int:
+        return self.counters.get(key, 0)
+
+    def mean(self, key: str) -> float:
+        stat = self.means.get(key)
+        return stat.mean if stat else 0.0
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        return {
+            key: value
+            for key, value in self.counters.items()
+            if key.startswith(prefix)
+        }
+
+    def reset(self) -> None:
+        """Clear all accumulated statistics (used after cache warmup)."""
+        self.counters.clear()
+        self.means.clear()
+        self.histograms.clear()
+
+    def merge(self, other: "Stats") -> None:
+        for key, value in other.counters.items():
+            self.counters[key] += value
+        for key, stat in other.means.items():
+            self.means[key].merge(stat)
+        for key, hist in other.histograms.items():
+            self.histograms[key].merge(hist)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to plain floats (counters verbatim, means as averages)."""
+        out: Dict[str, float] = dict(self.counters)
+        for key, stat in self.means.items():
+            out[f"{key}.mean"] = stat.mean
+        return out
+
+    def share(self, keys: Iterable[str], of: Iterable[str]) -> float:
+        """Fraction contributed by ``keys`` within the ``of`` population."""
+        num = sum(self.counters.get(k, 0) for k in keys)
+        den = sum(self.counters.get(k, 0) for k in of)
+        return num / den if den else 0.0
+
+
+def weighted_fractions(counts: Mapping[str, int]) -> Dict[str, float]:
+    """Normalise a counter mapping to fractions that sum to 1 (or empty)."""
+    total = sum(counts.values())
+    if total == 0:
+        return {key: 0.0 for key in counts}
+    return {key: value / total for key, value in counts.items()}
+
+
+def mean_and_stderr(values: Iterable[float]) -> Tuple[float, float]:
+    """Sample mean and standard error (0 stderr for n < 2)."""
+    data = list(values)
+    n = len(data)
+    if n == 0:
+        return 0.0, 0.0
+    mean = sum(data) / n
+    if n < 2:
+        return mean, 0.0
+    var = sum((x - mean) ** 2 for x in data) / (n - 1)
+    return mean, (var / n) ** 0.5

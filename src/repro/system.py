@@ -1,0 +1,258 @@
+"""Full-chip assembly: cores + caches + directory + NoC on one clock.
+
+This is the top of the substrate stack - the equivalent of the paper's
+Simics/GEMS/Garnet tool chain.  :class:`CmpSystem` builds every tile
+(core, private L1, shared L2 bank with directory slice, optional memory
+controller, network interface) for a :class:`~repro.sim.config.SystemConfig`
+and provides run/warmup/drain control for experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.coherence.l1 import L1Controller
+from repro.coherence.l2dir import L2BankController
+from repro.coherence.memory import MemoryController
+from repro.coherence.messages import Kind, MessageFactory
+from repro.cpu.core import Core
+from repro.cpu.workloads import WorkloadProfile
+from repro.noc.flit import Message
+from repro.noc.network import Network
+from repro.noc.topology import memory_controller_nodes
+from repro.sim.config import SystemConfig
+from repro.sim.kernel import ProgressWatchdog, Simulator
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import Stats
+
+_L1_KINDS = frozenset({
+    Kind.L2_REPLY, Kind.L1_TO_L1, Kind.L2_WB_ACK, Kind.INV,
+    Kind.FWD_GETS, Kind.FWD_GETX,
+})
+_L2_KINDS = frozenset({
+    Kind.GETS, Kind.GETX, Kind.WB_L1, Kind.L1_DATA_ACK, Kind.L1_INV_ACK,
+    Kind.MEMORY_DATA, Kind.MEMORY_ACK,
+})
+_MC_KINDS = frozenset({Kind.MEM_READ, Kind.WB_L2})
+
+
+class Tile:
+    """One node: router-attached NI plus the tile components."""
+
+    __slots__ = ("node", "ni", "l1", "l2", "mc", "core")
+
+    def __init__(self, node: int, ni, l1: L1Controller, l2: L2BankController,
+                 mc: Optional[MemoryController], core: Optional[Core]) -> None:
+        self.node = node
+        self.ni = ni
+        self.l1 = l1
+        self.l2 = l2
+        self.mc = mc
+        self.core = core
+
+
+class CmpSystem:
+    """A complete simulated CMP executing a workload."""
+
+    def __init__(self, config: SystemConfig,
+                 workload: Optional[WorkloadProfile] = None,
+                 streams: Optional[list] = None,
+                 home_of: Optional[Callable[[int], int]] = None) -> None:
+        self.config = config
+        self.stats = Stats()
+        self.sim = Simulator()
+        self.network = Network(config, self.stats)
+        self.rng = DeterministicRng(config.seed)
+        self.factory = MessageFactory(config)
+        mesh = self.network.mesh
+        line = config.cache.line_bytes
+        n_nodes = mesh.n_nodes
+        self.mc_nodes = memory_controller_nodes(
+            mesh, config.cache.num_memory_controllers
+        )
+
+        if home_of is None:
+            def home_of(addr: int) -> int:
+                return (addr // line) % n_nodes
+
+        def mc_of(addr: int) -> int:
+            return self.mc_nodes[(addr // line) % len(self.mc_nodes)]
+
+        self.home_of = home_of
+        self.mc_of = mc_of
+
+        if streams is None and workload is not None:
+            streams = workload.streams(
+                n_nodes, line, self.rng.stream(f"workload/{workload.name}")
+            )
+        self.tiles: List[Tile] = []
+        for node in range(n_nodes):
+            ni = self.network.interface(node)
+            l2 = L2BankController(node, config, self.factory, ni, mc_of, self.stats)
+            l1 = L1Controller(node, config, self.factory, ni, home_of, self.stats)
+            mc = None
+            if node in self.mc_nodes:
+                mc = MemoryController(node, config, self.factory, ni, self.stats)
+            core = None
+            if streams is not None:
+                core = Core(node, l1, streams[node], self.stats)
+            tile = Tile(node, ni, l1, l2, mc, core)
+            self.tiles.append(tile)
+            ni.deliver = self._make_dispatch(tile)
+        # Tick order: cores issue, controllers run due handlers, then the
+        # network moves flits.  All channels carry >= 1 cycle so the order
+        # only defines intra-cycle convention, not semantics.
+        for tile in self.tiles:
+            if tile.core is not None:
+                self.sim.add(tile.core)
+        for tile in self.tiles:
+            self.sim.add(tile.l1)
+            self.sim.add(tile.l2)
+            if tile.mc is not None:
+                self.sim.add(tile.mc)
+        self.sim.add(self.network)
+
+    def _make_dispatch(self, tile: Tile) -> Callable[[Message, int], None]:
+        l1, l2, mc = tile.l1, tile.l2, tile.mc
+
+        def dispatch(msg: Message, cycle: int) -> None:
+            kind = msg.kind
+            if kind in _L2_KINDS:
+                l2.receive(msg, cycle)
+            elif kind in _L1_KINDS:
+                l1.receive(msg, cycle)
+            elif kind in _MC_KINDS:
+                if mc is None:  # pragma: no cover - address-mapping bug trap
+                    raise ValueError(f"node {tile.node} has no MC for {kind}")
+                mc.receive(msg, cycle)
+            else:  # pragma: no cover
+                raise ValueError(f"unroutable message kind {kind}")
+
+        return dispatch
+
+    # ------------------------------------------------------------------
+    # Run control.
+    # ------------------------------------------------------------------
+    @property
+    def cores(self) -> List[Core]:
+        return [tile.core for tile in self.tiles if tile.core is not None]
+
+    def total_retired(self) -> int:
+        return sum(core.retired for core in self.cores)
+
+    def _progress(self) -> int:
+        return self.total_retired() + self.stats.counter("noc.msgs_delivered")
+
+    def run_cycles(self, cycles: int) -> None:
+        self.sim.run(cycles)
+
+    def run_instructions(self, per_core: int, max_cycles: int = 50_000_000,
+                         watchdog_window: int = 500_000) -> int:
+        """Run until every core retires ``per_core`` more instructions.
+
+        Returns the cycle at which the last core finished (the execution
+        time used for the paper's speedup comparisons).
+        """
+        for core in self.cores:
+            core.set_target(per_core)
+        watchdog = ProgressWatchdog(self._progress, watchdog_window)
+        self.sim.add_watchdog(watchdog)
+        try:
+            self.sim.run_until(
+                lambda: all(core.done for core in self.cores), max_cycles
+            )
+        finally:
+            self.sim._watchdogs.remove(watchdog)
+        return max(core.finish_cycle for core in self.cores)
+
+    def functional_prewarm(self) -> None:
+        """Install steady-state cache/directory contents directly.
+
+        Stands in for the paper's 200M-cycle warmup phase, which a pure
+        Python cycle simulator cannot afford: each core's hot set is placed
+        in its L1 (exclusively owned), its mid region and the shared region
+        in the L2, so measurement starts from a steady state.
+        """
+        from repro.coherence.l1 import L1State
+
+        rng = self.rng.stream("prewarm")
+        shared_done = set()
+        l1_capacity = self.config.cache.l1_sets * self.config.cache.l1_assoc
+        for tile in self.tiles:
+            core = tile.core
+            if core is None:
+                continue
+            stream = core.stream
+            if not hasattr(stream, "hot_lines"):
+                # Replayed trace files carry no region metadata; such
+                # systems warm up purely by timing simulation.
+                continue
+            write_frac = stream.params.write_frac
+
+            def warm_state() -> L1State:
+                # Lines written during their residency are MODIFIED at
+                # steady state (their eviction produces a writeback).
+                if rng.random() < write_frac:
+                    return L1State.MODIFIED
+                return L1State.EXCLUSIVE
+
+            installed = 0
+            for addr in stream.hot_lines():
+                home = self.home_of(addr)
+                if self.tiles[home].l2.prewarm_line(addr, owner=tile.node):
+                    if tile.l1.prewarm_line(addr, warm_state()):
+                        installed += 1
+            # Fill the rest of the L1 with mid-region lines so measurement
+            # starts with a full cache (every miss evicts, as at steady
+            # state); the remaining mid lines go to the L2 only.
+            for addr in stream.mid_lines():
+                home = self.home_of(addr)
+                if installed < l1_capacity:
+                    if self.tiles[home].l2.prewarm_line(addr, owner=tile.node):
+                        if tile.l1.prewarm_line(addr, warm_state()):
+                            installed += 1
+                        continue
+                self.tiles[home].l2.prewarm_line(addr)
+            if stream.params.shared_frac:
+                n = self.config.n_cores
+                for addr in stream.shared_lines():
+                    if addr not in shared_done:
+                        shared_done.add(addr)
+                        # Pre-mark (stale) sharers so first readers get S
+                        # grants, as at steady state, instead of a cold
+                        # E-grant-then-forward on every line.
+                        stale = {(addr // 64) % n, (addr // 64 + 7) % n}
+                        self.tiles[self.home_of(addr)].l2.prewarm_line(
+                            addr, sharers=stale
+                        )
+
+    def warmup(self, per_core: int, max_cycles: int = 50_000_000) -> None:
+        """Warm caches/directory, then clear statistics (paper sec. 5.1).
+
+        Combines a functional prewarm (cache/directory contents) with a
+        short timing warmup (queues, PLRU state, in-flight traffic).
+        """
+        self.functional_prewarm()
+        self.run_instructions(per_core, max_cycles)
+        self.drain()
+        self.stats.reset()
+
+    def drain(self, max_cycles: int = 2_000_000) -> int:
+        """Run until no message is in flight and no controller is busy."""
+
+        def idle() -> bool:
+            if self.network.in_flight():
+                return False
+            return all(
+                not tile.l1.busy() and not tile.l2.busy()
+                and (tile.mc is None or not tile.mc.busy())
+                for tile in self.tiles
+            )
+
+        return self.sim.run_until(idle, max_cycles, check_interval=16)
+
+
+def build_system(config: SystemConfig,
+                 workload: Optional[WorkloadProfile] = None) -> CmpSystem:
+    """Public constructor (kept stable for downstream users)."""
+    return CmpSystem(config, workload)

@@ -1,0 +1,91 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.noc.flit import Message
+from repro.noc.network import Network
+from repro.sim.config import SystemConfig, Variant
+
+
+class ScriptedChip:
+    """A Network whose nodes answer requests like a trivial protocol.
+
+    Every request delivered to a node triggers a reply of ``reply_flits``
+    flits back to the requestor after ``turnaround`` cycles.  This isolates
+    NoC/circuit behaviour from the coherence protocol.
+    """
+
+    def __init__(self, n_cores: int = 16, variant: Variant = Variant.BASELINE,
+                 turnaround: int = 7, reply_flits: int = 5,
+                 reply_kind: str = "L2_REPLY") -> None:
+        self.config = SystemConfig(n_cores=n_cores).with_variant(variant)
+        self.net = Network(self.config)
+        self.turnaround = turnaround
+        self.reply_flits = reply_flits
+        self.reply_kind = reply_kind
+        self.cycle = 0
+        self.delivered: Dict[int, Message] = {}
+        self.deliveries: List[Tuple[int, Message]] = []
+        self._timers: List[Tuple[int, Message]] = []
+        for node in range(self.net.mesh.n_nodes):
+            self.net.set_deliver(node, self._on_deliver)
+
+    # ------------------------------------------------------------------
+    def _on_deliver(self, msg: Message, cycle: int) -> None:
+        self.deliveries.append((cycle, msg))
+        self.delivered[msg.uid] = msg
+        if msg.vn == 0 and msg.builds_circuit:
+            reply = Message(msg.dest, msg.src, 1, self.reply_flits,
+                            self.reply_kind)
+            reply.circuit_eligible = True
+            reply.circuit_key = msg.circuit_key
+            self._timers.append((cycle + self.turnaround, reply))
+
+    def request(self, src: int, dest: int, addr: int = 0x40,
+                builds_circuit: bool = True, n_flits: int = 1) -> Message:
+        msg = Message(src, dest, 0, n_flits, "REQUEST")
+        msg.builds_circuit = builds_circuit
+        msg.circuit_key = (src, addr, msg.uid)
+        msg.reply_flits = self.reply_flits
+        msg.expected_turnaround = self.turnaround
+        self.net.inject(msg, self.cycle)
+        return msg
+
+    def send_reply(self, src: int, dest: int, kind: str = "ACK",
+                   n_flits: int = 1, eligible: bool = False) -> Message:
+        msg = Message(src, dest, 1, n_flits, kind)
+        msg.circuit_eligible = eligible
+        self.net.inject(msg, self.cycle)
+        return msg
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.cycle += 1
+            for item in [t for t in self._timers if t[0] == self.cycle]:
+                self._timers.remove(item)
+                self.net.inject(item[1], self.cycle)
+            self.net.tick(self.cycle)
+
+    def run_until_drained(self, max_cycles: int = 5000) -> None:
+        for _ in range(max_cycles):
+            if not self._timers and self.net.in_flight() == 0:
+                return
+            self.run(1)
+        raise AssertionError("network did not drain")
+
+    @property
+    def stats(self):
+        return self.net.stats
+
+
+@pytest.fixture
+def chip():
+    """Factory fixture: chip(variant=..., n_cores=...) -> ScriptedChip."""
+    def make(variant: Variant = Variant.BASELINE, n_cores: int = 16,
+             **kwargs) -> ScriptedChip:
+        return ScriptedChip(n_cores=n_cores, variant=variant, **kwargs)
+    return make

@@ -1,0 +1,80 @@
+"""Design-choice ablations called out in DESIGN.md."""
+
+import pytest
+
+from repro import build_system, workload_by_name
+from repro.sim.config import (
+    CircuitConfig,
+    CircuitMode,
+    SystemConfig,
+    Variant,
+    small_test_config,
+)
+
+import sys
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from conftest import ScriptedChip  # noqa: E402
+
+
+def test_undo_on_l2_miss_marks_replies_undone():
+    """Section 4.4 ablation: undoing on L2 misses produces 'undone' replies
+    (the paper measured keep-built to perform better)."""
+    base_cfg = small_test_config(16, Variant.COMPLETE, seed=5)
+    undo_cfg = base_cfg.with_circuit(
+        CircuitConfig(mode=CircuitMode.COMPLETE, undo_on_l2_miss=True)
+    )
+    keep = build_system(base_cfg, workload_by_name("fft"))
+    undo = build_system(undo_cfg, workload_by_name("fft"))
+    keep.run_instructions(500, max_cycles=1_500_000)
+    undo.run_instructions(500, max_cycles=1_500_000)
+    assert undo.stats.counter("circuit.origin_cancelled") > 0
+    assert (undo.stats.counter("circuit.outcome.undone")
+            > keep.stats.counter("circuit.outcome.undone"))
+
+
+@pytest.mark.parametrize("capacity,expected", [(1, 1), (3, 3), (5, 5)])
+def test_circuits_per_input_capacity(capacity, expected):
+    """The paper chose 5 circuits/input experimentally; the limit binds."""
+    cfg = SystemConfig(n_cores=16).with_circuit(
+        CircuitConfig(mode=CircuitMode.COMPLETE,
+                      max_circuits_per_input=capacity)
+    )
+    chip = ScriptedChip(16)
+    chip.config = cfg
+    from repro.noc.network import Network
+
+    chip.net = Network(cfg)
+    for node in range(16):
+        chip.net.set_deliver(node, chip._on_deliver)
+    chip.turnaround = 2000
+    reqs = [chip.request(0, 15, addr=0x100 * (i + 1)) for i in range(6)]
+    chip.run(300)
+    reserved = [r for r in reqs if r.walk and r.walk.fully_reserved]
+    assert len(reserved) == expected
+    chip.run_until_drained(60000)
+
+
+def test_load_sensitivity_circuits_fail_under_heavy_contention():
+    """Paper section 5.5: heavy loads cause conflicts that prevent complete
+    circuits from being built."""
+    light = ScriptedChip(16, Variant.COMPLETE, turnaround=7)
+    heavy = ScriptedChip(16, Variant.COMPLETE, turnaround=2000)
+
+    def drive(chip, gap):
+        i = 0
+        for _round in range(6):
+            for src in range(0, 16, 2):
+                i += 1
+                chip.request(src, 15 - src, addr=0x40 * i)
+                chip.run(gap)
+        chip.run_until_drained(150000)
+
+    drive(light, gap=60)  # spread out, circuits freed quickly
+    drive(heavy, gap=1)  # burst + long-held circuits => many conflicts
+    def fail_rate(chip):
+        s = chip.stats
+        failed = s.counter("circuit.outcome.failed")
+        total = s.counter("circuit.replies_total")
+        return failed / total if total else 0.0
+
+    assert fail_rate(heavy) > fail_rate(light)

@@ -1,0 +1,106 @@
+"""Circuit table and reservation-walk data structures."""
+
+from hypothesis import given, strategies as st
+
+from repro.circuits.table import (
+    CircuitEntry,
+    CircuitTable,
+    CircuitWalk,
+    HopRecord,
+    circuit_key,
+)
+from repro.noc.topology import Port
+
+
+def entry(key=(0, 0x40, 1), start=None, end=None):
+    return CircuitEntry(key, Port.EAST, Port.WEST, built_cycle=0,
+                        window_start=start, window_end=end)
+
+
+def test_untimed_entries_never_expire():
+    e = entry()
+    assert e.live(0) and e.live(10**9)
+    assert not e.timed
+
+
+def test_timed_entries_expire():
+    e = entry(start=100, end=120)
+    assert e.timed
+    assert e.live(100) and e.live(120)
+    assert not e.live(121)
+
+
+def test_overlap_detection():
+    e = entry(start=100, end=120)
+    assert e.overlaps(120, 130)
+    assert e.overlaps(90, 100)
+    assert e.overlaps(105, 110)
+    assert not e.overlaps(121, 140)
+    assert not e.overlaps(50, 99)
+
+
+@given(st.integers(0, 200), st.integers(0, 200),
+       st.integers(0, 200), st.integers(0, 200))
+def test_overlap_is_symmetric(a0, a1, b0, b1):
+    a0, a1 = sorted((a0, a1))
+    b0, b1 = sorted((b0, b1))
+    ea = entry(key=(0, 1, 1), start=a0, end=a1)
+    eb = entry(key=(0, 2, 2), start=b0, end=b1)
+    assert ea.overlaps(b0, b1) == eb.overlaps(a0, a1)
+
+
+def test_table_capacity_and_purge():
+    table = CircuitTable(capacity=3)
+    table.insert(entry(key=(0, 1, 1), start=10, end=20))
+    table.insert(entry(key=(0, 2, 2), start=10, end=50))
+    table.insert(entry(key=(0, 3, 3)))
+    assert table.live_count(15) == 3
+    assert table.live_count(30) == 2  # first expired and purged
+    assert (0, 1, 1) not in table.entries
+    assert table.lookup((0, 2, 2), 30) is not None
+    assert table.lookup((0, 2, 2), 60) is None  # lazy expiry on lookup
+
+
+def test_table_remove():
+    table = CircuitTable(capacity=2)
+    e = entry()
+    table.insert(e)
+    assert table.remove(e.key) is e
+    assert table.remove(e.key) is None
+
+
+def test_walk_fully_reserved():
+    walk = CircuitWalk((0, 1, 1), reply_flits=5, path_hops=2, turnaround=7)
+    assert not walk.fully_reserved  # no hops yet
+    walk.hops.append(HopRecord(0, Port.EAST, Port.LOCAL, True))
+    assert walk.fully_reserved
+    walk.hops.append(HopRecord(1, Port.LOCAL, Port.WEST, False))
+    assert not walk.fully_reserved
+    assert len(walk.reserved_hops) == 1
+
+
+def test_walk_failed_flag_dominates():
+    walk = CircuitWalk((0, 1, 1), 5, 2, 7)
+    walk.hops.append(HopRecord(0, Port.EAST, Port.LOCAL, True))
+    walk.failed = True
+    assert not walk.fully_reserved
+
+
+def test_feasible_departure_untimed_hops_pass_through():
+    walk = CircuitWalk((0, 1, 1), 5, 1, 7)
+    walk.hops.append(HopRecord(0, Port.EAST, Port.LOCAL, True))
+    assert walk.feasible_departure(42, 2, 2) == 42
+
+
+def test_circuit_key_shape():
+    assert circuit_key(3, 0x1000) == (3, 0x1000)
+
+
+@given(st.integers(0, 63), st.integers(0, 1 << 32))
+def test_entries_keyed_uniquely(dest, block):
+    table = CircuitTable(capacity=8)
+    key_a = (dest, block, 1)
+    key_b = (dest, block, 2)
+    table.insert(CircuitEntry(key_a, Port.EAST, Port.WEST, 0))
+    table.insert(CircuitEntry(key_b, Port.EAST, Port.WEST, 0))
+    assert len(table.entries) == 2

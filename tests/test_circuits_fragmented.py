@@ -1,0 +1,85 @@
+"""Fragmented circuits (section 4.2): partial reservations, buffered
+circuit VCs, and gap traversal."""
+
+from repro.sim.config import Variant
+
+
+def reply_of(c, req):
+    replies = [m for _, m in c.deliveries
+               if m.vn == 1 and m.circuit_key == req.circuit_key]
+    assert len(replies) == 1
+    return replies[0]
+
+
+def test_reply_vn_has_three_vcs_with_buffers(chip):
+    c = chip(Variant.FRAGMENTED)
+    router = c.net.routers[5]
+    for unit in router.inputs.values():
+        assert len(unit.vcs[1]) == 3
+        for vc in unit.vcs[1]:
+            assert vc.depth == 5  # fragmented keeps all buffers
+
+
+def test_full_fragmented_circuit_matches_complete_speed(chip):
+    c = chip(Variant.FRAGMENTED)
+    req = c.request(0, 15)
+    c.run_until_drained()
+    reply = reply_of(c, req)
+    assert reply.outcome == "on_circuit"
+    assert reply.network_latency == 20  # same fly-through timing
+
+
+def test_capacity_is_two_per_input(chip):
+    c = chip(Variant.FRAGMENTED, turnaround=2000)
+    reqs = [c.request(0, 15, addr=0x100 * (i + 1)) for i in range(4)]
+    c.run(300)
+    reserved = [r for r in reqs if r.walk and r.walk.fully_reserved]
+    assert len(reserved) == 2  # only two circuit VCs per input port
+    c.run_until_drained(60000)
+
+
+def test_partial_circuit_still_accelerates(chip):
+    """A reply whose circuit is only partially built uses the built hops
+    and is classified as 'failed' (paper Fig. 6 fragmented bar)."""
+    c = chip(Variant.FRAGMENTED, turnaround=2000)
+    blockers = [c.request(0, 15, addr=0x100 * (i + 1)) for i in range(2)]
+    c.run(200)
+    partial = c.request(0, 15, addr=0x900)
+    c.run(200)
+    assert partial.walk is not None
+    assert not partial.walk.fully_reserved
+    c.run_until_drained(80000)
+    reply = reply_of(c, partial)
+    assert reply.outcome == "failed"
+    # all blockers ride their circuits
+    for blocker in blockers:
+        assert reply_of(c, blocker).outcome == "on_circuit"
+
+
+def test_entries_cleared_after_use(chip):
+    c = chip(Variant.FRAGMENTED)
+    for i in range(4):
+        c.request(i, 15 - i, addr=0x40 * (i + 1))
+    c.run_until_drained(30000)
+    assert c.net.circuit_entries() == 0
+
+
+def test_credits_conserved_after_fragmented_traffic(chip):
+    c = chip(Variant.FRAGMENTED)
+    for burst in range(3):
+        for src in (0, 3, 12, 15, 5, 10):
+            c.request(src, 15 - src, addr=0x40 * (src + 1) + burst * 0x2000)
+        c.run(30)
+    c.run_until_drained(60000)
+    depth = c.config.noc.buffer_depth_flits
+    for router in c.net.routers:
+        for port, out in router.outputs.items():
+            if port.name == "LOCAL":
+                continue
+            for vn_row in out.vcs:
+                for ovc in vn_row:
+                    assert ovc.credits == depth, (
+                        f"credit leak router {router.node} {port.name} "
+                        f"vn{ovc.vn} vc{ovc.index}: {ovc.credits}"
+                    )
+                    assert ovc.allocated_to is None

@@ -1,0 +1,94 @@
+"""Circuit reuse by scroungers (4.5) and the ideal upper bound (4.8)."""
+
+from repro.sim.config import Variant
+
+
+def reply_of(c, req):
+    replies = [m for _, m in c.deliveries
+               if m.vn == 1 and m.circuit_key == req.circuit_key]
+    assert len(replies) == 1
+    return replies[0]
+
+
+def test_scrounger_rides_foreign_circuit(chip):
+    c = chip(Variant.REUSE, turnaround=3000)
+    # Build a circuit whose reply will go 15 -> 0 and keep it reserved.
+    c.request(0, 15, addr=0x100)
+    c.run(120)
+    # A non-eligible reply from node 15 toward node 0 can scrounge it.
+    ack = c.send_reply(15, 0, kind="L1_DATA_ACK")
+    c.run(120)
+    assert ack.outcome == "scrounger"
+    assert ack.uid in c.delivered
+    assert c.stats.counter("circuit.outcome.scrounger") == 1
+    c.run_until_drained(30000)
+
+
+def test_scrounger_uses_intermediate_then_reinjects(chip):
+    c = chip(Variant.REUSE, turnaround=3000)
+    c.request(0, 15, addr=0x100)  # circuit 15 -> 0
+    c.run(120)
+    # Reply from 15 to node 1: riding to 0 gets it within one hop.
+    ack = c.send_reply(15, 1, kind="L1_DATA_ACK")
+    c.run(400)
+    assert ack.uid in c.delivered
+    final = c.delivered[ack.uid]
+    assert final.dest == 1
+    assert c.stats.counter("circuit.scrounger_relays") == 1
+    c.run_until_drained(30000)
+
+
+def test_scrounger_does_not_consume_the_circuit(chip):
+    c = chip(Variant.REUSE, turnaround=3000)
+    owner_req = c.request(0, 15, addr=0x100)
+    c.run(120)
+    c.send_reply(15, 0, kind="L1_DATA_ACK")
+    c.run(120)
+    # circuit must still be reserved for its own reply
+    assert c.net.circuit_entries() > 0
+    c.run_until_drained(30000)
+    assert reply_of(c, owner_req).outcome == "on_circuit"
+    assert c.net.circuit_entries() == 0
+
+
+def test_scrounger_only_when_strictly_closer(chip):
+    c = chip(Variant.REUSE, turnaround=3000)
+    c.request(15, 0, addr=0x100)  # circuit 0 -> 15
+    c.run(120)
+    # Reply from 0 toward 3: the circuit destination (15) is farther from 3
+    # than the origin already is, so it must not scrounge.
+    ack = c.send_reply(0, 3, kind="L1_DATA_ACK")
+    c.run(200)
+    assert ack.outcome == "not_eligible"
+    c.run_until_drained(30000)
+
+
+def test_ideal_every_eligible_reply_uses_circuit(chip):
+    c = chip(Variant.IDEAL)
+    reqs = [c.request(i, 15 - i, addr=0x40 * (1 + i)) for i in range(6)]
+    c.run_until_drained(30000)
+    for req in reqs:
+        assert reply_of(c, req).outcome == "on_circuit"
+    s = c.stats
+    assert s.counter("circuit.outcome.on_circuit") == 6
+    assert s.counter("circuit.outcome.failed") == 0
+
+
+def test_ideal_resolves_collisions_with_buffering(chip):
+    c = chip(Variant.IDEAL, turnaround=7)
+    # Fire many eligible replies converging on node 0 simultaneously.
+    for src in (3, 12, 15, 7, 13):
+        c.request(0, src, addr=0x40 * src)
+    c.run_until_drained(30000)
+    # replies converge toward 0; collisions are buffered, never dropped
+    replies = [m for _, m in c.deliveries if m.vn == 1]
+    assert len(replies) == 5
+    assert all(m.outcome == "on_circuit" for m in replies)
+
+
+def test_ideal_has_no_reservation_state(chip):
+    c = chip(Variant.IDEAL)
+    c.request(0, 15)
+    c.run(50)
+    assert c.net.circuit_entries() == 0
+    c.run_until_drained(30000)

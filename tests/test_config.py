@@ -1,0 +1,103 @@
+"""Configuration validation and variant expansion."""
+
+import pytest
+
+from repro.sim.config import (
+    CacheConfig,
+    CircuitConfig,
+    CircuitMode,
+    SystemConfig,
+    Variant,
+    small_test_config,
+    variant_config,
+)
+
+
+def test_default_matches_paper_table2_and_4():
+    cfg = SystemConfig()
+    assert cfg.cache.l1_size_bytes == 32 * 1024
+    assert cfg.cache.l1_assoc == 4
+    assert cfg.cache.l1_hit_cycles == 2
+    assert cfg.cache.l2_bank_size_bytes == 1024 * 1024
+    assert cfg.cache.l2_assoc == 16
+    assert cfg.cache.l2_hit_cycles == 7
+    assert cfg.cache.memory_latency_cycles == 160
+    assert cfg.cache.num_memory_controllers == 4
+    assert cfg.noc.vcs_per_vn == (2, 2)
+    assert cfg.noc.buffer_depth_flits == 5
+    assert cfg.noc.flit_bytes == 16
+    assert cfg.noc.packet_hop_cycles == 5
+    assert cfg.noc.circuit_hop_cycles == 2
+
+
+def test_derived_cache_geometry():
+    cache = CacheConfig()
+    assert cache.l1_sets * cache.l1_assoc * cache.line_bytes == 32 * 1024
+    assert cache.l2_bank_sets * cache.l2_assoc * cache.line_bytes == 1024 * 1024
+
+
+def test_mesh_side_requires_square():
+    assert SystemConfig(n_cores=16).mesh_side == 4
+    assert SystemConfig(n_cores=64).mesh_side == 8
+    with pytest.raises(ValueError):
+        SystemConfig(n_cores=12)
+
+
+def test_every_variant_expands():
+    for variant in Variant:
+        circuit = variant_config(variant)
+        cfg = SystemConfig(n_cores=16).with_variant(variant)
+        assert cfg.circuit == circuit
+
+
+def test_fragmented_grows_reply_vn():
+    cfg = SystemConfig(n_cores=16).with_variant(Variant.FRAGMENTED)
+    assert cfg.noc.vcs_per_vn == (2, 3)
+    assert cfg.circuit.max_circuits_per_input == 2
+
+
+def test_complete_keeps_two_reply_vcs():
+    cfg = SystemConfig(n_cores=16).with_variant(Variant.COMPLETE)
+    assert cfg.noc.vcs_per_vn == (2, 2)
+    assert cfg.circuit.max_circuits_per_input == 5
+
+
+def test_invalid_circuit_combinations_rejected():
+    with pytest.raises(ValueError):
+        CircuitConfig(mode=CircuitMode.NONE, no_ack=True)
+    with pytest.raises(ValueError):
+        CircuitConfig(mode=CircuitMode.FRAGMENTED, timed=True)
+    with pytest.raises(ValueError):
+        CircuitConfig(mode=CircuitMode.FRAGMENTED, no_ack=True)
+    with pytest.raises(ValueError):
+        CircuitConfig(mode=CircuitMode.COMPLETE, reuse=True, timed=True)
+    with pytest.raises(ValueError):
+        CircuitConfig(mode=CircuitMode.COMPLETE, timed=True, allow_delay=True)
+    with pytest.raises(ValueError):
+        CircuitConfig(mode=CircuitMode.COMPLETE, timed=True, postponed=True,
+                      postpone_per_hop=1, slack_per_hop=2)
+    with pytest.raises(ValueError):
+        CircuitConfig(mode=CircuitMode.COMPLETE, timed=True, postponed=True)
+
+
+def test_timed_variants_have_expected_knobs():
+    slack = variant_config(Variant.SLACK2_NOACK)
+    assert slack.timed and slack.slack_per_hop == 2 and not slack.allow_delay
+    delay = variant_config(Variant.SLACKDELAY1_NOACK)
+    assert delay.allow_delay and delay.slack_per_hop == 1
+    post = variant_config(Variant.POSTPONED2_NOACK)
+    assert post.postponed and post.postpone_per_hop == 2
+
+
+def test_small_test_config_shrinks_caches_only():
+    cfg = small_test_config(16, Variant.COMPLETE)
+    assert cfg.cache.l1_size_bytes < 32 * 1024
+    assert cfg.noc.buffer_depth_flits == 5
+    assert cfg.circuit.mode is CircuitMode.COMPLETE
+
+
+def test_with_circuit_replaces_policy():
+    cfg = SystemConfig(n_cores=16)
+    new = cfg.with_circuit(CircuitConfig(mode=CircuitMode.COMPLETE))
+    assert new.circuit.mode is CircuitMode.COMPLETE
+    assert cfg.circuit.mode is CircuitMode.NONE

@@ -1,0 +1,83 @@
+"""Tracer and utilization heatmap."""
+
+from repro.noc.debug import (
+    attach_tracer,
+    detach_tracer,
+    reset_utilization,
+    utilization_heatmap,
+)
+from repro.noc.flit import Message
+from repro.noc.network import Network
+from repro.sim.config import SystemConfig, Variant
+
+
+def run_traffic(net, pairs, cycles=200):
+    for src, dest in pairs:
+        net.interfaces[src].enqueue(Message(src, dest, 0, 1, "REQ"), 0)
+    for cycle in range(1, cycles):
+        net.tick(cycle)
+
+
+def test_tracer_records_crossbar_events():
+    net = Network(SystemConfig(n_cores=16))
+    events = attach_tracer(net)
+    run_traffic(net, [(0, 3)])
+    # one flit crosses routers 0,1,2,3: four traversals
+    assert len(events) == 4
+    nodes = [e[1] for e in events]
+    assert sorted(nodes) == [0, 1, 2, 3]
+    assert all(e[3] == "REQ" for e in events)
+    detach_tracer(net)
+    run_traffic(net, [(4, 7)])
+    assert len(events) == 4  # no longer recording
+
+
+def test_custom_callback():
+    net = Network(SystemConfig(n_cores=16))
+    seen = []
+    attach_tracer(net, lambda cycle, router, port, flit: seen.append(router.node))
+    run_traffic(net, [(0, 1)])
+    assert seen == [0, 1]
+
+
+def test_heatmap_shows_hot_routers():
+    net = Network(SystemConfig(n_cores=16))
+    run_traffic(net, [(0, 3), (4, 7), (8, 11)])
+    text = utilization_heatmap(net)
+    assert "peak" in text
+    assert len(text.splitlines()) == 5  # title + 4 mesh rows
+    # corner router 15 saw nothing
+    assert net.routers[15].forwarded == 0
+    assert net.routers[1].forwarded > 0
+    reset_utilization(net)
+    assert all(r.forwarded == 0 for r in net.routers)
+
+
+def test_load_sampler_measures_injection():
+    import pytest
+
+    from repro.noc.debug import LoadSampler
+    from repro.noc.traffic import RequestReplyTraffic
+
+    config = SystemConfig(n_cores=16)
+    traffic = RequestReplyTraffic(config, requests_per_node_per_kcycle=20.0,
+                                  seed=2)
+    sampler = LoadSampler(traffic.net, interval=100)
+    for _ in range(2000):
+        traffic.run(1)
+        sampler.tick(traffic.cycle)
+    assert len(sampler.samples) >= 19
+    assert sampler.mean_load() > 0
+    text = sampler.sparkline()
+    assert "peak" in text
+    with pytest.raises(ValueError):
+        LoadSampler(traffic.net, interval=0)
+
+
+def test_load_sampler_idle_network():
+    from repro.noc.debug import LoadSampler
+
+    net = Network(SystemConfig(n_cores=16))
+    sampler = LoadSampler(net)
+    assert sampler.mean_load() == 0.0
+    assert sampler.sparkline() == "(no samples)"

@@ -1,0 +1,55 @@
+"""The repro-harness command-line interface."""
+
+import pytest
+
+from repro.harness.__main__ import COMMANDS, main
+
+
+@pytest.fixture(autouse=True)
+def tiny_runs(monkeypatch):
+    """Make CLI invocations fast by shrinking the simulation quanta."""
+    monkeypatch.setenv("REPRO_SCALE", "0.08")
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+
+
+def test_cli_table6(capsys):
+    assert main(["table6"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 6" in out
+    assert "Fragmented" in out
+
+
+def test_cli_table1_small(capsys, monkeypatch):
+    # restrict to one light workload for speed
+    monkeypatch.setattr(
+        "repro.harness.__main__.default_workloads",
+        lambda full=None: ["water_spatial"],
+    )
+    assert main(["table1", "--cores", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "message class" in out
+    assert "L2_REPLY" in out
+
+
+def test_cli_fig9_small(capsys, monkeypatch):
+    monkeypatch.setattr(
+        "repro.harness.__main__.default_workloads",
+        lambda full=None: ["water_spatial"],
+    )
+    assert main(["fig9", "--cores", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "Ideal" in out
+
+
+def test_cli_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["figX"])
+
+
+def test_all_commands_registered():
+    assert set(COMMANDS) == {
+        "table1", "table5", "table6",
+        "fig6", "fig7", "fig8", "fig9", "fig10",
+    }

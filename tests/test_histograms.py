@@ -1,0 +1,82 @@
+"""Histogram statistics (latency distributions / percentiles)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import Histogram, Stats
+
+
+def test_empty_histogram():
+    h = Histogram()
+    assert h.percentile(50) == 0.0
+    assert h.mean == 0.0
+    assert h.max == 0.0
+
+
+def test_percentiles_simple():
+    h = Histogram()
+    for v in range(1, 101):
+        h.add(v)
+    assert h.percentile(50) == 50
+    assert h.percentile(95) == 95
+    assert h.percentile(100) == 100
+    assert h.percentile(0) == 1  # smallest observed value
+
+
+def test_percentile_validation():
+    h = Histogram()
+    h.add(1)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_mean_and_max():
+    h = Histogram()
+    for v in (2, 2, 8):
+        h.add(v)
+    assert h.mean == 4
+    assert h.max == 8
+
+
+def test_merge():
+    a, b = Histogram(), Histogram()
+    a.add(1)
+    b.add(3)
+    b.add(3)
+    a.merge(b)
+    assert a.count == 3
+    assert a.percentile(100) == 3
+
+
+@given(st.lists(st.integers(0, 10_000), min_size=1, max_size=400))
+def test_percentile_bounds_and_monotonicity(values):
+    h = Histogram()
+    for v in values:
+        h.add(v)
+    assert min(values) <= h.percentile(1) <= h.percentile(50) \
+        <= h.percentile(99) <= max(values)
+    assert h.percentile(100) == max(values)
+
+
+def test_stats_record_feeds_both():
+    stats = Stats()
+    for v in (10, 20, 30):
+        stats.record("lat", v)
+    assert stats.mean("lat") == 20
+    assert stats.percentile("lat", 100) == 30
+    assert stats.percentile("missing", 99) == 0.0
+
+
+def test_stats_reset_clears_histograms():
+    stats = Stats()
+    stats.record("lat", 5)
+    stats.reset()
+    assert stats.percentile("lat", 50) == 0.0
+
+
+def test_stats_merge_histograms():
+    a, b = Stats(), Stats()
+    a.record("lat", 1)
+    b.record("lat", 9)
+    a.merge(b)
+    assert a.percentile("lat", 100) == 9

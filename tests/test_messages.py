@@ -1,0 +1,82 @@
+"""Coherence message factory (Table 3 message set)."""
+
+from repro.coherence.messages import (
+    CIRCUIT_ELIGIBLE_REPLIES,
+    Kind,
+    MessageFactory,
+    REPLY_KINDS,
+    REQUEST_KINDS,
+)
+from repro.sim.config import SystemConfig
+
+
+def factory():
+    return MessageFactory(SystemConfig(n_cores=16))
+
+
+def test_kind_partitions():
+    assert not (REQUEST_KINDS & REPLY_KINDS)
+    assert CIRCUIT_ELIGIBLE_REPLIES <= REPLY_KINDS
+
+
+def test_gets_builds_circuit_with_metadata():
+    f = factory()
+    msg = f.gets(2, 7, 0x1000)
+    assert msg.vn == 0 and msg.n_flits == 1
+    assert msg.builds_circuit
+    assert msg.circuit_key == (2, 0x1000, msg.uid)
+    assert msg.reply_flits == 5
+    assert msg.expected_turnaround == 7  # L2 hit latency
+
+
+def test_wb_carries_data_and_expects_short_ack():
+    f = factory()
+    wb = f.wb_l1(2, 7, 0x1000)
+    assert wb.n_flits == 5
+    assert wb.reply_flits == 1
+    assert wb.builds_circuit
+
+
+def test_memory_requests_expect_memory_latency():
+    f = factory()
+    read = f.mem_read(7, 12, 0x1000)
+    assert read.expected_turnaround == 160
+    assert read.reply_flits == 5
+    wb = f.wb_l2(7, 12, 0x1000)
+    assert wb.n_flits == 5 and wb.reply_flits == 1
+
+
+def test_replies_inherit_circuit_key():
+    f = factory()
+    req = f.gets(2, 7, 0x1000)
+    reply = f.l2_reply(7, 2, 0x1000, req, exclusive=True)
+    assert reply.vn == 1 and reply.n_flits == 5
+    assert reply.circuit_eligible
+    assert reply.circuit_key == req.circuit_key
+    assert reply.payload.exclusive
+
+
+def test_acks_are_not_eligible():
+    f = factory()
+    for msg in (f.l1_data_ack(2, 7, 0x1000), f.l1_inv_ack(2, 7, 0x1000)):
+        assert msg.vn == 1 and msg.n_flits == 1
+        assert not msg.circuit_eligible
+
+
+def test_l1_to_l1_not_eligible_but_carries_undone_hint():
+    f = factory()
+    msg = f.l1_to_l1(4, 2, 0x1000, exclusive=True, undone_circuit=True)
+    assert not msg.circuit_eligible
+    assert msg.outcome_hint == "undone"
+    plain = f.l1_to_l1(4, 2, 0x1000, exclusive=False, undone_circuit=False)
+    assert plain.outcome_hint is None
+
+
+def test_forward_carries_requestor():
+    f = factory()
+    fwd = f.forward(Kind.FWD_GETX, 7, 4, 0x1000, requestor=2,
+                    undone_circuit=True)
+    assert fwd.dest == 4
+    assert fwd.payload.requestor == 2
+    assert fwd.payload.undone_circuit
+    assert not fwd.builds_circuit

@@ -1,0 +1,95 @@
+"""Partitioned-chip extension (the paper's section-5.5 usage model)."""
+
+import pytest
+
+from repro.cpu.workloads import workload_by_name
+from repro.noc.topology import Mesh
+from repro.partition import (
+    Partition,
+    build_partitioned_system,
+    install_crossing_counter,
+    quadrants,
+    traffic_crosses_partitions,
+)
+from repro.sim.config import CacheConfig, SystemConfig, Variant
+
+
+def small_partitioned(variant=Variant.COMPLETE_NOACK, seed=3):
+    cache = CacheConfig(l1_size_bytes=2 * 1024, l2_bank_size_bytes=16 * 1024,
+                        memory_latency_cycles=60)
+    config = SystemConfig(n_cores=16, seed=seed, cache=cache).with_variant(variant)
+    mesh = Mesh(4)
+    parts = quadrants(mesh, [
+        workload_by_name("blackscholes"),
+        workload_by_name("fluidanimate"),
+        workload_by_name("water_spatial"),
+        workload_by_name("swaptions"),
+    ])
+    return build_partitioned_system(config, parts)
+
+
+def test_quadrants_cover_mesh():
+    mesh = Mesh(8)
+    parts = quadrants(mesh, [workload_by_name("mix")] * 4)
+    covered = sorted(n for p in parts for n in p.nodes(mesh))
+    assert covered == list(range(64))
+
+
+def test_quadrants_validation():
+    with pytest.raises(ValueError):
+        quadrants(Mesh(4), [workload_by_name("mix")] * 3)
+
+
+def test_overlapping_partitions_rejected():
+    config = SystemConfig(n_cores=16)
+    wl = workload_by_name("mix")
+    parts = [Partition(wl, 0, 0, 4, 4), Partition(wl, 0, 0, 1, 1)]
+    with pytest.raises(ValueError):
+        build_partitioned_system(config, parts)
+
+
+def test_uncovered_nodes_rejected():
+    config = SystemConfig(n_cores=16)
+    wl = workload_by_name("mix")
+    with pytest.raises(ValueError):
+        build_partitioned_system(config, [Partition(wl, 0, 0, 2, 2)])
+
+
+def test_homes_stay_inside_partition():
+    system = small_partitioned()
+    for index, nodes in enumerate(system.partition_nodes):
+        node_set = set(nodes)
+        for node in nodes:
+            stream = system.tiles[node].core.stream
+            samples = (list(stream.hot_lines())[:8]
+                       + list(stream.mid_lines())[:8]
+                       + list(stream.shared_lines())[:8])
+            for addr in samples:
+                assert system.home_of(addr) in node_set, (
+                    f"addr {addr:#x} of partition {index} homed outside"
+                )
+
+
+def test_partitions_have_disjoint_shared_regions():
+    system = small_partitioned()
+    bases = {system.tiles[nodes[0]].core.stream.shared_base_line
+             for nodes in system.partition_nodes}
+    assert len(bases) == 4
+
+
+def test_no_coherence_traffic_crosses_partitions():
+    system = small_partitioned()
+    install_crossing_counter(system)
+    system.run_instructions(300, max_cycles=1_500_000)
+    crossings, total = traffic_crosses_partitions(system)
+    assert total > 0
+    assert crossings == 0
+
+
+def test_partitioned_chip_runs_circuits():
+    system = small_partitioned()
+    system.run_instructions(300, max_cycles=1_500_000)
+    s = system.stats
+    assert s.counter("circuit.outcome.on_circuit") > 0
+    system.drain()
+    assert system.network.live_circuit_entries(system.sim.cycle) == 0

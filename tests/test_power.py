@@ -1,0 +1,107 @@
+"""Area and energy models (Table 6 / Fig. 8 machinery)."""
+
+import pytest
+
+from repro.power.area import area_savings, router_area
+from repro.power.energy import network_energy
+from repro.sim.config import SystemConfig, Variant
+from repro.sim.stats import Stats
+
+
+def cfg(variant, cores=16):
+    return SystemConfig(n_cores=cores).with_variant(variant)
+
+
+def test_baseline_router_is_buffer_dominated():
+    model = router_area(cfg(Variant.BASELINE))
+    assert model.buffers / model.total > 0.5
+    assert model.circuit_storage == 0
+
+
+def test_fragmented_increases_area():
+    for cores in (16, 64):
+        saving = area_savings(cfg(Variant.FRAGMENTED, cores))
+        assert saving < -0.15  # paper: about -19 %
+
+
+def test_complete_decreases_area():
+    for cores, low, high in ((16, 0.04, 0.09), (64, 0.03, 0.08)):
+        saving = area_savings(cfg(Variant.COMPLETE, cores))
+        assert low < saving < high  # paper: +6.21 % / +5.77 %
+
+
+def test_timed_saves_less_than_untimed():
+    for cores in (16, 64):
+        complete = area_savings(cfg(Variant.COMPLETE, cores))
+        timed = area_savings(cfg(Variant.TIMED_NOACK, cores))
+        assert 0 < timed < complete  # timers eat into the buffer savings
+
+
+def test_savings_shrink_with_chip_size():
+    """Wider destination ids at 64 cores cost more circuit storage."""
+    assert area_savings(cfg(Variant.COMPLETE, 64)) < area_savings(
+        cfg(Variant.COMPLETE, 16)
+    )
+    assert area_savings(cfg(Variant.TIMED_NOACK, 64)) < area_savings(
+        cfg(Variant.TIMED_NOACK, 16)
+    )
+
+
+def test_table6_ordering_matches_paper():
+    order = [
+        area_savings(cfg(Variant.COMPLETE, 16)),
+        area_savings(cfg(Variant.TIMED_NOACK, 16)),
+        area_savings(cfg(Variant.FRAGMENTED, 16)),
+    ]
+    assert order[0] > order[1] > 0 > order[2]
+
+
+def test_ideal_has_no_circuit_storage_model():
+    model = router_area(cfg(Variant.IDEAL))
+    assert model.circuit_storage == 0  # excluded, as in the paper
+
+
+def test_dynamic_energy_scales_with_events():
+    stats = Stats()
+    config = cfg(Variant.BASELINE)
+    zero = network_energy(config, stats, cycles=1000)
+    stats.bump("noc.link_flits", 100)
+    stats.bump("noc.buffer_writes", 100)
+    more = network_energy(config, stats, cycles=1000)
+    assert more.dynamic > zero.dynamic
+    assert more.static == zero.static
+
+
+def test_static_energy_scales_with_cycles_and_area():
+    stats = Stats()
+    short = network_energy(cfg(Variant.BASELINE), stats, cycles=1000)
+    long = network_energy(cfg(Variant.BASELINE), stats, cycles=2000)
+    assert long.static == pytest.approx(2 * short.static)
+    frag = network_energy(cfg(Variant.FRAGMENTED), stats, cycles=1000)
+    complete = network_energy(cfg(Variant.COMPLETE), stats, cycles=1000)
+    assert frag.static > short.static > complete.static
+
+
+def test_circuit_traffic_is_cheaper_per_flit():
+    """The same flits moved via circuits (no buffer ops, no allocators)
+    must cost less dynamic energy than packet-switched movement."""
+    config = cfg(Variant.COMPLETE)
+    packet = Stats()
+    packet.bump("noc.xbar_traversals", 100)
+    packet.bump("noc.link_flits", 100)
+    packet.bump("noc.buffer_writes", 100)
+    packet.bump("noc.buffer_reads", 100)
+    packet.bump("noc.sa_grants", 100)
+    packet.bump("noc.credits_sent", 100)
+    circuit = Stats()
+    circuit.bump("noc.xbar_traversals", 100)
+    circuit.bump("noc.link_flits", 100)
+    assert (network_energy(config, circuit, 0).dynamic
+            < network_energy(config, packet, 0).dynamic)
+
+
+def test_energy_breakdown_dict():
+    model = network_energy(cfg(Variant.BASELINE), Stats(), cycles=10)
+    d = model.as_dict()
+    assert set(d) == {"dynamic", "static", "total", "cycles"}
+    assert d["total"] == d["dynamic"] + d["static"]

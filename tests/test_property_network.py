@@ -1,0 +1,109 @@
+"""Property-based end-to-end invariants on the NoC under random traffic."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.config import Variant
+
+import sys
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from conftest import ScriptedChip  # noqa: E402
+
+
+VARIANTS = [
+    Variant.BASELINE,
+    Variant.COMPLETE,
+    Variant.COMPLETE_NOACK,
+    Variant.FRAGMENTED,
+    Variant.REUSE_NOACK,
+    Variant.TIMED_NOACK,
+    Variant.SLACKDELAY1_NOACK,
+    Variant.POSTPONED1_NOACK,
+    Variant.IDEAL,
+]
+
+traffic_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 15),  # src
+        st.integers(0, 15),  # dest
+        st.integers(0, 8),   # inject gap
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(variant=st.sampled_from(VARIANTS), traffic=traffic_strategy)
+def test_all_requests_get_replies_and_network_drains(variant, traffic):
+    chip = ScriptedChip(16, variant)
+    sent = 0
+    for i, (src, dest, gap) in enumerate(traffic):
+        chip.request(src, dest, addr=0x40 * (i + 1))
+        sent += 1
+        chip.run(gap)
+    chip.run_until_drained(60000)
+
+    requests = [m for _, m in chip.deliveries if m.vn == 0]
+    replies = [m for _, m in chip.deliveries if m.vn == 1]
+    assert len(requests) == sent
+    assert len(replies) == sent
+    # every reply reached its requestor
+    by_key = {m.circuit_key: m for m in replies}
+    for req in requests:
+        assert by_key[req.circuit_key].dest == req.src \
+            or by_key[req.circuit_key].final_dest == req.src
+
+    # credit conservation at every router output
+    depth = chip.config.noc.buffer_depth_flits
+    for router in chip.net.routers:
+        for port, out in router.outputs.items():
+            if port.name == "LOCAL":
+                continue
+            for vn_row in out.vcs:
+                for ovc in vn_row:
+                    if ovc.index in (1, 2) and vn_row[0].vn == 1 and \
+                            variant not in (Variant.BASELINE,
+                                            Variant.FRAGMENTED,
+                                            Variant.IDEAL):
+                        continue  # bufferless circuit VC carries no credits
+                    assert ovc.credits == depth
+                    assert ovc.allocated_to is None
+
+    # no live circuit reservations survive the drain
+    assert chip.net.live_circuit_entries(chip.cycle) == 0
+
+    # NI credit mirrors are restored too
+    for ni in chip.net.interfaces:
+        for vn, row in enumerate(ni.credits):
+            for vc, credits in enumerate(row):
+                if (vn, vc) in chip.net.policy.bufferless_vcs():
+                    assert credits == 0
+                else:
+                    assert credits == depth
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    variant=st.sampled_from([Variant.COMPLETE_NOACK, Variant.REUSE_NOACK,
+                             Variant.SLACKDELAY1_NOACK]),
+    traffic=traffic_strategy,
+    extra_replies=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=8
+    ),
+)
+def test_outcomes_accounted_exactly_once(variant, traffic, extra_replies):
+    chip = ScriptedChip(16, variant)
+    for i, (src, dest, gap) in enumerate(traffic):
+        chip.request(src, dest, addr=0x40 * (i + 1))
+        chip.run(gap)
+    for src, dest in extra_replies:
+        chip.send_reply(src, dest, kind="L1_DATA_ACK")
+    chip.run_until_drained(60000)
+    replies_sent = len(traffic) + len(extra_replies)
+    total_outcomes = sum(
+        chip.stats.counter(f"circuit.outcome.{name}")
+        for name in ("on_circuit", "failed", "undone", "scrounger",
+                     "not_eligible", "eliminated")
+    )
+    assert total_outcomes == replies_sent
+    assert chip.stats.counter("circuit.replies_total") == replies_sent

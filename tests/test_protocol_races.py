@@ -1,0 +1,166 @@
+"""Protocol race conditions exercised deterministically via fake NIs."""
+
+import pytest
+
+from repro.coherence.l1 import L1Controller, L1State
+from repro.coherence.l2dir import L2BankController
+from repro.coherence.messages import Kind, MessageFactory
+from repro.sim.config import SystemConfig, Variant
+from repro.sim.stats import Stats
+
+
+class FakeNi:
+    def __init__(self):
+        self.sent = []
+        self.cancelled = []
+
+    def enqueue(self, msg, cycle):
+        self.sent.append((cycle, msg))
+
+    def cancel_circuit(self, key, cycle):
+        self.cancelled.append(key)
+        return True
+
+    def kinds(self):
+        return [m.kind for _, m in self.sent]
+
+    def clear(self):
+        self.sent.clear()
+
+
+@pytest.fixture
+def env():
+    config = SystemConfig(n_cores=16).with_variant(Variant.BASELINE)
+    return config, MessageFactory(config), Stats()
+
+
+def drive(ctrl, cycles, start=0):
+    for cycle in range(start, start + cycles):
+        ctrl.tick(cycle)
+
+
+def test_forward_races_writeback(env):
+    """FWD_GETS arrives at an L1 whose writeback is already in flight:
+    the forward is served from the writeback buffer."""
+    config, factory, stats = env
+    ni = FakeNi()
+    l1 = L1Controller(0, config, factory, ni, lambda a: 3, stats)
+    l1.wb_buffer[0x9000] = True  # dirty line evicted, WB in flight
+    fwd = factory.forward(Kind.FWD_GETS, 3, 0, 0x9000, requestor=7,
+                          undone_circuit=False)
+    l1.receive(fwd, 0)
+    drive(l1, 10)
+    assert ni.kinds() == [Kind.L1_TO_L1]
+    assert ni.sent[0][1].dest == 7
+    assert 0x9000 in l1.wb_buffer  # GETS forward keeps the buffer entry
+
+
+def test_forward_getx_consumes_writeback_buffer(env):
+    config, factory, stats = env
+    ni = FakeNi()
+    l1 = L1Controller(0, config, factory, ni, lambda a: 3, stats)
+    l1.wb_buffer[0x9000] = True
+    fwd = factory.forward(Kind.FWD_GETX, 3, 0, 0x9000, requestor=7,
+                          undone_circuit=False)
+    l1.receive(fwd, 0)
+    drive(l1, 10)
+    assert 0x9000 not in l1.wb_buffer
+
+
+def test_forward_after_silent_clean_eviction(env):
+    """FWD for a silently evicted clean-E line is still served (the L2
+    copy is valid; see DESIGN.md section 4b)."""
+    config, factory, stats = env
+    ni = FakeNi()
+    l1 = L1Controller(0, config, factory, ni, lambda a: 3, stats)
+    fwd = factory.forward(Kind.FWD_GETS, 3, 0, 0x9000, requestor=7,
+                          undone_circuit=False)
+    l1.receive(fwd, 0)
+    drive(l1, 10)
+    assert ni.kinds() == [Kind.L1_TO_L1]
+    assert stats.counter("l1.stale_forwards") == 1
+
+
+def test_inv_during_pending_upgrade(env):
+    """INV hits a SHARED line with a GETX upgrade outstanding: the copy is
+    invalidated and acked, the upgrade still completes to MODIFIED."""
+    config, factory, stats = env
+    ni = FakeNi()
+    l1 = L1Controller(0, config, factory, ni, lambda a: 3, stats)
+    l1.resume_core = lambda c: None
+    l1.prewarm_line(0xA000, L1State.SHARED)
+    assert l1.access(0xA000, True, 0) is False  # upgrade miss sent
+    l1.receive(factory.inv(3, 0, 0xA000), 1)
+    drive(l1, 10)
+    assert Kind.L1_INV_ACK in ni.kinds()
+    assert l1.array.peek(0xA000) is None
+    reply = factory.l2_reply(3, 0, 0xA000, factory.getx(0, 3, 0xA000), True)
+    l1.receive(reply, 20)
+    drive(l1, 10, start=20)
+    assert l1.array.peek(0xA000).state is L1State.MODIFIED
+
+
+def test_wb_processed_while_line_busy_with_forward(env):
+    """WB from the old owner lands while the directory is mid-forward:
+    the WB is acked; the transaction's data ack still completes it."""
+    config, factory, stats = env
+    ni = FakeNi()
+    l2 = L2BankController(3, config, factory, ni, lambda a: 12, stats)
+    l2.prewarm_line(0xB000, owner=5)
+    l2.receive(factory.gets(0, 3, 0xB000), 0)
+    drive(l2, 20)
+    assert ni.kinds() == [Kind.FWD_GETS]
+    ni.clear()
+    wb = factory.wb_l1(5, 3, 0xB000)
+    wb.payload.exclusive = True
+    l2.receive(wb, 25)
+    drive(l2, 20, start=25)
+    assert ni.kinds() == [Kind.L2_WB_ACK]
+    l2.receive(factory.l1_data_ack(0, 3, 0xB000), 60)
+    drive(l2, 20, start=60)
+    line = l2.array.peek(0xB000)
+    assert not line.busy
+    assert 0 in line.sharers
+
+
+def test_queued_requests_drain_in_order(env):
+    config, factory, stats = env
+    ni = FakeNi()
+    l2 = L2BankController(3, config, factory, ni, lambda a: 12, stats)
+    l2.prewarm_line(0xC000, sharers={9})
+    l2.receive(factory.gets(0, 3, 0xC000), 0)
+    l2.receive(factory.gets(1, 3, 0xC000), 1)
+    l2.receive(factory.gets(2, 3, 0xC000), 2)
+    drive(l2, 20)
+    # only the first is served; others queued behind the busy line
+    assert [m.dest for _, m in ni.sent] == [0]
+    ni.clear()
+    cycle = 30
+    for expected_dest in (1, 2):
+        l2.receive(factory.l1_data_ack(expected_dest - 1, 3, 0xC000), cycle)
+        drive(l2, 20, start=cycle)
+        assert [m.dest for _, m in ni.sent] == [expected_dest]
+        ni.clear()
+        cycle += 30
+
+
+def test_second_writer_waits_for_first(env):
+    """Two GETX in a row: ownership transfers via forward, serialised."""
+    config, factory, stats = env
+    ni = FakeNi()
+    l2 = L2BankController(3, config, factory, ni, lambda a: 12, stats)
+    l2.prewarm_line(0xD000)
+    l2.receive(factory.getx(5, 3, 0xD000), 0)
+    drive(l2, 20)
+    assert ni.kinds() == [Kind.L2_REPLY]
+    ni.clear()
+    l2.receive(factory.getx(6, 3, 0xD000), 21)
+    drive(l2, 20, start=21)
+    assert ni.sent == []  # blocked on node 5's ack
+    l2.receive(factory.l1_data_ack(5, 3, 0xD000), 50)
+    drive(l2, 20, start=50)
+    assert ni.kinds() == [Kind.FWD_GETX]
+    assert ni.sent[0][1].dest == 5
+    l2.receive(factory.l1_data_ack(6, 3, 0xD000), 90)
+    drive(l2, 20, start=90)
+    assert l2.array.peek(0xD000).owner == 6

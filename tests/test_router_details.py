@@ -1,0 +1,135 @@
+"""Router microarchitecture details: pipeline stages, claims, undo."""
+
+import pytest
+
+from repro.noc.flit import Message
+from repro.noc.network import Network
+from repro.noc.topology import Port
+from repro.noc.vc import VcStage
+from repro.sim.config import SystemConfig, Variant
+from repro.sim.kernel import SimulationError
+
+
+def make_net(variant=Variant.BASELINE, cores=16):
+    return Network(SystemConfig(n_cores=cores).with_variant(variant))
+
+
+def test_router_port_structure():
+    net = make_net()
+    corner = net.routers[0]
+    middle = net.routers[5]
+    assert set(corner.ports) == {Port.EAST, Port.SOUTH, Port.LOCAL}
+    assert len(middle.ports) == 5
+    for port in middle.ports:
+        assert len(middle.inputs[port].vcs[0]) == 2
+        assert len(middle.inputs[port].vcs[1]) == 2
+
+
+def test_claim_path_is_exclusive_per_cycle():
+    net = make_net()
+    router = net.routers[5]
+    assert router.claim_path(Port.NORTH, Port.SOUTH)
+    assert not router.claim_path(Port.NORTH, Port.EAST)  # input taken
+    assert not router.claim_path(Port.WEST, Port.SOUTH)  # output taken
+    assert router.claim_path(Port.WEST, Port.EAST)
+
+
+def test_vc_stage_progression():
+    """Head flit: buffer+RC at t, VA t+1, SA t+2, ST t+3."""
+    net = make_net()
+    router = net.routers[5]
+    msg = Message(5, 6, 0, 1, "REQ")
+    flit = msg.flits()[0]
+    flit.dst_vc = 0
+    router.in_flit[Port.LOCAL].send(flit, 0)  # arrives at cycle 2
+    router.tick(2)
+    vc = router.vc(Port.LOCAL, 0, 0)
+    assert vc.stage is VcStage.VA
+    assert vc.route is Port.EAST
+    router.tick(3)
+    assert vc.stage is VcStage.ACTIVE
+    assert vc.out_vc is not None
+    router.tick(4)  # SA grant
+    assert vc.granted_pending
+    router.tick(5)  # ST
+    assert not vc.buffer
+    assert vc.stage is VcStage.IDLE
+    # flit on the EAST link, arriving at neighbour at cycle 7
+    arrivals = list(router.out_flit[Port.EAST].arrivals(7))
+    assert arrivals == [flit]
+
+
+def test_bufferless_vc_rejects_packet_flit():
+    net = make_net(Variant.COMPLETE)
+    router = net.routers[5]
+    msg = Message(5, 6, 1, 1, "REPLY")
+    flit = msg.flits()[0]
+    flit.dst_vc = 1  # the bufferless circuit VC
+    router.in_flit[Port.LOCAL].send(flit, 0)
+    with pytest.raises(SimulationError):
+        router.tick(2)
+
+
+def test_circuit_flit_without_entry_is_an_error():
+    net = make_net(Variant.COMPLETE)
+    router = net.routers[5]
+    msg = Message(5, 6, 1, 1, "REPLY")
+    msg.circuit_key = (6, 0x40, msg.uid)
+    flit = msg.flits()[0]
+    flit.on_circuit = True
+    router.in_flit[Port.LOCAL].send(flit, 0)
+    with pytest.raises(SimulationError):
+        router.tick(2)
+
+
+def test_undo_credit_clears_entry_and_forwards():
+    net = make_net(Variant.COMPLETE)
+    router = net.routers[5]  # (1,1) in the 4x4 mesh
+    from repro.circuits.table import CircuitEntry
+
+    key = (4, 0x80, 1234)  # circuit toward node 4 = (0,1): WEST of node 5
+    table = router.inputs[Port.EAST].circuit_table
+    table.insert(CircuitEntry(key, Port.EAST, Port.WEST, built_cycle=0))
+    # undo arrives on the EAST credit channel (from the failure router)
+    router.in_credit[Port.EAST].send_undo(key, 0)
+    router.tick(2)
+    assert table.lookup(key, 2) is None
+    # and is forwarded toward the circuit destination (WEST)
+    forwarded = list(router.out_credit[Port.WEST].arrivals(4))
+    assert len(forwarded) == 1 and forwarded[0].undo_key == key
+
+
+def test_undo_stops_at_destination_router():
+    net = make_net(Variant.COMPLETE)
+    router = net.routers[5]
+    from repro.circuits.table import CircuitEntry
+
+    key = (5, 0x80, 99)  # destination IS this node -> out port LOCAL
+    table = router.inputs[Port.EAST].circuit_table
+    table.insert(CircuitEntry(key, Port.EAST, Port.LOCAL, built_cycle=0))
+    router.in_credit[Port.EAST].send_undo(key, 0)
+    router.tick(2)
+    assert table.lookup(key, 2) is None
+    assert router.out_credit[Port.LOCAL].in_flight() == 0
+
+
+def test_ejection_port_has_effectively_infinite_credits():
+    net = make_net()
+    router = net.routers[5]
+    local_vc = router.output_vc(Port.LOCAL, 0, 0)
+    assert local_vc.credits > 1_000_000
+
+
+def test_busy_vc_accounting_balances():
+    net = make_net()
+    chip_cycle = 0
+    # inject a couple of messages through NIs and ensure counters return to 0
+    for node, dest in ((0, 5), (3, 9), (15, 2)):
+        msg = Message(node, dest, 0, 3, "REQ")
+        net.interfaces[node].enqueue(msg, chip_cycle)
+    for cycle in range(1, 300):
+        net.tick(cycle)
+    for router in net.routers:
+        assert router._busy_vcs == 0
+        for port, unit in router.inputs.items():
+            assert unit.busy_count == 0

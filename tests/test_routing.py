@@ -1,0 +1,51 @@
+"""Dimension-order routing and the request/reply path-matching property."""
+
+from hypothesis import given, strategies as st
+
+from repro.noc.routing import path_routers, route_xy, route_yx
+from repro.noc.topology import Mesh, Port
+
+
+def test_xy_goes_horizontal_first():
+    mesh = Mesh(4)
+    assert route_xy(mesh, 0, 15) is Port.EAST
+    assert route_xy(mesh, 3, 15) is Port.SOUTH
+    assert route_xy(mesh, 15, 15) is Port.LOCAL
+
+
+def test_yx_goes_vertical_first():
+    mesh = Mesh(4)
+    assert route_yx(mesh, 0, 15) is Port.SOUTH
+    assert route_yx(mesh, 12, 15) is Port.EAST
+
+
+@given(st.integers(2, 8), st.data())
+def test_paths_reach_destination(side, data):
+    mesh = Mesh(side)
+    src = data.draw(st.integers(0, mesh.n_nodes - 1))
+    dest = data.draw(st.integers(0, mesh.n_nodes - 1))
+    for vn in (0, 1):
+        path = path_routers(mesh, vn, src, dest)
+        assert path[0] == src and path[-1] == dest
+        assert len(path) == mesh.distance(src, dest) + 1
+
+
+@given(st.integers(2, 8), st.data())
+def test_request_and_reply_traverse_same_routers(side, data):
+    """The key property of section 4.1: XY there == reversed YX back."""
+    mesh = Mesh(side)
+    src = data.draw(st.integers(0, mesh.n_nodes - 1))
+    dest = data.draw(st.integers(0, mesh.n_nodes - 1))
+    request_path = path_routers(mesh, 0, src, dest)
+    reply_path = path_routers(mesh, 1, dest, src)
+    assert request_path == list(reversed(reply_path))
+
+
+@given(st.integers(2, 8), st.data())
+def test_dor_paths_are_minimal_and_loop_free(side, data):
+    mesh = Mesh(side)
+    src = data.draw(st.integers(0, mesh.n_nodes - 1))
+    dest = data.draw(st.integers(0, mesh.n_nodes - 1))
+    for vn in (0, 1):
+        path = path_routers(mesh, vn, src, dest)
+        assert len(set(path)) == len(path)  # no router visited twice

@@ -1,0 +1,37 @@
+"""Design-space sweep utilities."""
+
+from repro.harness.sweeps import (
+    SweepPoint,
+    buffer_depth_sweep,
+    load_sweep,
+    mesh_scaling_sweep,
+    render_sweep,
+)
+from repro.sim.config import Variant
+
+
+def test_mesh_scaling_structure():
+    points = mesh_scaling_sweep(sides=(2, 3), cycles=1500)
+    assert [p.label for p in points] == ["4 cores", "9 cores"]
+    for p in points:
+        assert 0.0 <= p.circuit_success <= 1.0
+        assert p.mean_reply_latency > 0
+
+
+def test_load_sweep_latency_monotonicity():
+    points = load_sweep(rates=(2.0, 60.0), cycles=2500,
+                        variant=Variant.BASELINE)
+    assert points[1].offered_load > points[0].offered_load
+    assert points[1].mean_reply_latency > points[0].mean_reply_latency
+
+
+def test_buffer_depth_helps_under_load():
+    points = buffer_depth_sweep(depths=(2, 8), rate=40.0, cycles=2500)
+    shallow, deep = points
+    assert deep.mean_reply_latency <= shallow.mean_reply_latency * 1.05
+
+
+def test_render_sweep():
+    points = [SweepPoint("x", 0.5, 12.0, 3.0)]
+    text = render_sweep(points, "title")
+    assert "title" in text and "50.0%" in text and "12.0" in text

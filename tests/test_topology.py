@@ -1,0 +1,82 @@
+"""Mesh topology and port geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.topology import Mesh, Port, memory_controller_nodes, opposite
+
+
+def test_coords_roundtrip():
+    mesh = Mesh(4)
+    for node in range(16):
+        x, y = mesh.coords(node)
+        assert mesh.node_at(x, y) == node
+
+
+def test_neighbor_directions():
+    mesh = Mesh(4)
+    assert mesh.neighbor(5, Port.EAST) == 6
+    assert mesh.neighbor(5, Port.WEST) == 4
+    assert mesh.neighbor(5, Port.NORTH) == 1
+    assert mesh.neighbor(5, Port.SOUTH) == 9
+
+
+def test_corner_ports():
+    mesh = Mesh(4)
+    assert set(mesh.router_ports(0)) == {Port.EAST, Port.SOUTH, Port.LOCAL}
+    assert set(mesh.router_ports(15)) == {Port.WEST, Port.NORTH, Port.LOCAL}
+    # interior router has all five
+    assert len(mesh.router_ports(5)) == 5
+
+
+def test_opposite_is_involution():
+    for port in Port:
+        assert opposite(opposite(port)) is port
+    assert opposite(Port.LOCAL) is Port.LOCAL
+
+
+@given(st.integers(2, 8), st.data())
+def test_neighbor_symmetry(side, data):
+    mesh = Mesh(side)
+    node = data.draw(st.integers(0, mesh.n_nodes - 1))
+    for port in (Port.NORTH, Port.SOUTH, Port.EAST, Port.WEST):
+        if mesh.has_neighbor(node, port):
+            other = mesh.neighbor(node, port)
+            assert mesh.neighbor(other, opposite(port)) == node
+
+
+@given(st.integers(2, 8), st.data())
+def test_distance_is_metric(side, data):
+    mesh = Mesh(side)
+    a = data.draw(st.integers(0, mesh.n_nodes - 1))
+    b = data.draw(st.integers(0, mesh.n_nodes - 1))
+    c = data.draw(st.integers(0, mesh.n_nodes - 1))
+    assert mesh.distance(a, b) == mesh.distance(b, a)
+    assert (mesh.distance(a, b) == 0) == (a == b)
+    assert mesh.distance(a, c) <= mesh.distance(a, b) + mesh.distance(b, c)
+
+
+def test_memory_controller_placement_on_edges():
+    for side in (4, 8):
+        mesh = Mesh(side)
+        nodes = memory_controller_nodes(mesh, 4)
+        assert len(nodes) == 4
+        assert len(set(nodes)) == 4
+        edge = set(mesh.edge_nodes())
+        assert all(node in edge for node in nodes)
+
+
+def test_memory_controller_other_counts():
+    mesh = Mesh(4)
+    assert len(memory_controller_nodes(mesh, 1)) == 1
+    assert len(memory_controller_nodes(mesh, 2)) == 2
+    eight = memory_controller_nodes(mesh, 8)
+    assert len(eight) == len(set(eight)) == 8
+
+
+def test_invalid_mesh():
+    with pytest.raises(ValueError):
+        Mesh(0)
+    mesh = Mesh(2)
+    with pytest.raises(ValueError):
+        mesh.node_at(2, 0)

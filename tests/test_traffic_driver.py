@@ -1,0 +1,60 @@
+"""Synthetic request-reply traffic driver."""
+
+from repro.noc.traffic import RequestReplyTraffic
+from repro.sim.config import SystemConfig, Variant
+
+
+def make(variant=Variant.COMPLETE, rate=5.0, seed=3):
+    config = SystemConfig(n_cores=16).with_variant(variant)
+    return RequestReplyTraffic(config, rate, seed=seed)
+
+
+def test_traffic_conserves_messages():
+    traffic = make()
+    traffic.run(2000)
+    traffic.drain()
+    assert traffic.requests_sent > 0
+    assert traffic.replies_received == traffic.requests_sent
+
+
+def test_traffic_is_deterministic():
+    a, b = make(seed=9), make(seed=9)
+    a.run(1500)
+    b.run(1500)
+    assert a.requests_sent == b.requests_sent
+    assert a.reply_latencies == b.reply_latencies
+
+
+def test_offered_load_tracks_rate():
+    light = make(rate=2.0)
+    heavy = make(rate=20.0)
+    light.run(3000)
+    heavy.run(3000)
+    assert heavy.offered_load_flits_per_kcycle_node() > \
+        2 * light.offered_load_flits_per_kcycle_node()
+
+
+def test_latency_grows_with_load():
+    light = make(rate=2.0, variant=Variant.BASELINE)
+    heavy = make(rate=60.0, variant=Variant.BASELINE)
+    light.run(3000)
+    light.drain()
+    heavy.run(3000)
+    heavy.drain()
+    assert heavy.mean_reply_latency() > light.mean_reply_latency()
+
+
+def test_circuit_success_rate_none_without_circuits():
+    traffic = make(variant=Variant.BASELINE, rate=0.0)
+    traffic.run(100)
+    assert traffic.circuit_success_rate() is None
+
+
+def test_circuits_help_latency_under_light_load():
+    base = make(variant=Variant.BASELINE, rate=3.0)
+    circ = make(variant=Variant.COMPLETE, rate=3.0)
+    base.run(4000)
+    base.drain()
+    circ.run(4000)
+    circ.drain()
+    assert circ.mean_reply_latency() < base.mean_reply_latency()

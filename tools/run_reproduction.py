@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Full reproduction driver: regenerate every table and figure, both chip
+sizes, and dump the rendered report plus a JSON result cache.
+
+Usage:
+    REPRO_SCALE=0.6 python tools/run_reproduction.py out/report.txt
+
+The run honours REPRO_SCALE / REPRO_FULL / REPRO_CACHE like the harness.
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro.harness import figures, render, tables
+from repro.harness.experiment import default_workloads
+
+
+def main() -> int:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "reproduction_report.txt"
+    workloads = default_workloads()
+    full = default_workloads(full=True)
+    lines = []
+
+    def emit(text=""):
+        print(text, flush=True)
+        lines.append(text)
+
+    t0 = time.time()
+    emit(f"# Reactive Circuits reproduction report")
+    emit(f"# scale={os.environ.get('REPRO_SCALE', '1.0')} "
+         f"workloads={workloads}")
+    emit()
+
+    emit("## Table 6 - router area savings")
+    emit(render.render_table6(tables.table6(), tables.TABLE6_PAPER))
+    emit()
+
+    for cores in (16, 64):
+        emit(f"=================== {cores} cores ===================")
+        emit(f"## Table 1 - message mix ({cores} cores)")
+        emit(render.render_table1(tables.table1(workloads, cores),
+                                  tables.TABLE1_PAPER))
+        emit()
+        emit(f"## Table 5 - reservation ordinals ({cores} cores)")
+        emit(render.render_table5(tables.table5(workloads, cores),
+                                  tables.TABLE5_PAPER))
+        emit()
+        emit(f"## Figure 6 - reply outcomes ({cores} cores)")
+        emit(render.render_figure6(figures.figure6(workloads, cores)))
+        emit()
+        emit(f"## Figure 7 - message latency ({cores} cores)")
+        emit(render.render_figure7(figures.figure7(workloads, cores)))
+        emit()
+        emit(f"## Figure 8 - normalised network energy ({cores} cores)")
+        emit(render.render_ratio_figure(
+            figures.figure8(workloads, cores), "energy vs baseline"))
+        emit()
+        emit(f"## Figure 9 - speedup ({cores} cores)")
+        emit(render.render_ratio_figure(
+            figures.figure9(workloads, cores), "speedup"))
+        emit()
+        emit(f"[{time.time() - t0:.0f}s elapsed]")
+
+    emit("## Figure 10 - per-application speedup "
+         "(64 cores, SlackDelay1+NoAck, all workloads)")
+    emit(render.render_figure10(figures.figure10(full, 64)))
+    emit()
+    emit(f"# total {time.time() - t0:.0f}s")
+
+    with open(out_path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
