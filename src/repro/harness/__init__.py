@@ -1,21 +1,37 @@
 """Experiment harness reproducing every table and figure of the paper."""
 
+from repro.harness.cache import ResultCache
 from repro.harness.experiment import (
     RunResult,
     RunSpec,
     compare_variants,
     default_workloads,
+    env_flag,
     run_experiment,
     run_matrix,
     scale,
 )
+from repro.harness.parallel import (
+    ParallelError,
+    RunTimeoutError,
+    WorkerCrashError,
+    resolve_jobs,
+    run_specs,
+)
 
 __all__ = [
+    "ParallelError",
+    "ResultCache",
     "RunResult",
     "RunSpec",
+    "RunTimeoutError",
+    "WorkerCrashError",
     "compare_variants",
     "default_workloads",
+    "env_flag",
+    "resolve_jobs",
     "run_experiment",
     "run_matrix",
+    "run_specs",
     "scale",
 ]

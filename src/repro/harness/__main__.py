@@ -3,13 +3,14 @@
 Usage::
 
     python -m repro.harness table1 [--cores 64] [--full]
-    python -m repro.harness fig9 --cores 16
-    python -m repro.harness all
+    python -m repro.harness fig9 --cores 16 --jobs 4
+    python -m repro.harness all --jobs 0      # one worker per CPU core
 
 Environment:
     REPRO_SCALE  simulation-length multiplier (default 1.0)
     REPRO_FULL   1 = sweep all 22 workloads (default: 6-workload subset)
     REPRO_CACHE  path of a JSON result cache reused across invocations
+    REPRO_JOBS   worker processes when --jobs is not given (0 = all cores)
 """
 
 from __future__ import annotations
@@ -17,8 +18,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.harness import figures, render, tables
-from repro.harness.experiment import default_workloads
+from repro.harness import figures, parallel, render, tables
+from repro.harness.experiment import RunSpec, default_workloads
+from repro.sim.config import Variant
 
 
 def _workloads(args) -> list:
@@ -85,6 +87,37 @@ COMMANDS = {
     "fig10": cmd_fig10,
 }
 
+#: Variants each command simulates (table6 is a pure area model: none).
+COMMAND_VARIANTS = {
+    "table1": [Variant.BASELINE],
+    "table5": [Variant.COMPLETE_NOACK],
+    "table6": [],
+    "fig6": figures.FIG6_VARIANTS,
+    "fig7": figures.FIG7_VARIANTS,
+    "fig8": [Variant.BASELINE] + figures.FIG8_VARIANTS,
+    "fig9": [Variant.BASELINE] + figures.FIG9_VARIANTS,
+    "fig10": [Variant.BASELINE, Variant.SLACKDELAY1_NOACK],
+}
+
+
+def _prefetch(names, args, jobs: int) -> None:
+    """Warm the memo across worker processes before serial rendering."""
+    variants = []
+    for name in names:
+        for variant in COMMAND_VARIANTS[name]:
+            if variant not in variants:
+                variants.append(variant)
+    specs = [
+        RunSpec(args.cores, variant, workload, args.seed)
+        for variant in variants
+        for workload in _workloads(args)
+    ]
+    if len(specs) > 1:
+        parallel.run_specs(
+            specs, jobs=jobs,
+            echo=lambda msg: print(msg, file=sys.stderr, flush=True),
+        )
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -97,13 +130,29 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--full", action="store_true",
                         help="sweep all 22 workloads")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the simulations "
+                             "(0 = one per CPU core; default: REPRO_JOBS "
+                             "or serial)")
     args = parser.parse_args(argv)
-    if args.what == "all":
-        for name, command in COMMANDS.items():
-            command(args)
-            print()
-    else:
-        COMMANDS[args.what](args)
+    try:
+        jobs = parallel.resolve_jobs(args.jobs)
+    except ValueError as exc:
+        # malformed --jobs / REPRO_JOBS: a message beats a traceback
+        parser.error(str(exc))
+    names = list(COMMANDS) if args.what == "all" else [args.what]
+    try:
+        if jobs > 1:
+            _prefetch(names, args, jobs)
+        for name in names:
+            COMMANDS[name](args)
+            if args.what == "all":
+                print()
+    except ValueError as exc:
+        if "REPRO_" not in str(exc):
+            raise  # a real bug, keep the traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -1,0 +1,206 @@
+"""Crash-safe, multiprocess-shared result cache (``REPRO_CACHE``).
+
+The cache is a single JSON file mapping spec keys to serialised
+:class:`~repro.harness.experiment.RunResult` dicts.  Several processes --
+parallel workers, concurrent pytest invocations sharing ``REPRO_CACHE`` --
+read and write it at once, so the layer guarantees:
+
+* **atomic publication**: writers dump to a private temp file and
+  ``os.replace`` it over the cache, so readers always see either the old
+  or the new complete file, never a torn ``json.dump``;
+* **merge-on-write**: writers re-read the file under an exclusive lock
+  file before publishing, so concurrent writers union their entries
+  instead of overwriting each other;
+* **versioning**: the file carries a ``schema`` field; unknown schemas
+  are never silently reinterpreted;
+* **quarantine**: a corrupt or unreadable cache file is renamed to
+  ``<path>.corrupt.<pid>.<n>`` (and a warning logged) instead of being
+  silently ignored -- the evidence survives, and subsequent runs start
+  from a clean file rather than re-quarantining forever.
+
+Files written by pre-versioning releases (a bare ``{key: entry}`` dict)
+are still read, and upgraded to the current schema on the next write.
+"""
+
+from __future__ import annotations
+
+import errno
+import itertools
+import json
+import logging
+import os
+import time
+from typing import Dict, Optional
+
+logger = logging.getLogger("repro.harness.cache")
+
+#: Bump when the on-disk layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+class CacheLockTimeout(RuntimeError):
+    """Raised when the cache lock file cannot be acquired in time."""
+
+
+class FileLock:
+    """Exclusive inter-process lock based on ``O_CREAT | O_EXCL``.
+
+    Portable (no ``fcntl`` dependency) and safe on every local
+    filesystem.  A lock file older than ``stale_seconds`` is assumed to
+    belong to a crashed writer and is broken.
+    """
+
+    def __init__(self, path: str, timeout: float = 30.0,
+                 stale_seconds: float = 30.0) -> None:
+        self.path = path
+        self.timeout = timeout
+        self.stale_seconds = stale_seconds
+        self._fd: Optional[int] = None
+
+    def acquire(self) -> None:
+        deadline = time.monotonic() + self.timeout
+        delay = 0.001
+        while True:
+            try:
+                self._fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+                os.write(self._fd, str(os.getpid()).encode())
+                return
+            except FileExistsError:
+                self._break_if_stale()
+            except OSError as exc:  # pragma: no cover - exotic filesystems
+                if exc.errno != errno.EEXIST:
+                    raise
+            if time.monotonic() >= deadline:
+                raise CacheLockTimeout(
+                    f"could not lock {self.path!r} within {self.timeout:g}s; "
+                    "remove the file if its owner crashed"
+                )
+            time.sleep(delay)
+            delay = min(delay * 2, 0.05)
+
+    def _break_if_stale(self) -> None:
+        try:
+            age = time.time() - os.stat(self.path).st_mtime
+        except OSError:
+            return  # released between our open() and stat()
+        if age > self.stale_seconds:
+            logger.warning("breaking stale cache lock %s (%.0fs old)",
+                           self.path, age)
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def release(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class ResultCache:
+    """One JSON cache file with locking, merging and quarantine."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.lock_path = path + ".lock"
+
+    @classmethod
+    def from_env(cls) -> Optional["ResultCache"]:
+        path = os.environ.get("REPRO_CACHE")
+        return cls(path) if path else None
+
+    # -- reading ---------------------------------------------------------
+
+    def load(self, key: str) -> Optional[dict]:
+        """Return the entry stored under ``key``, or None."""
+        return self.load_all().get(key)
+
+    def load_all(self) -> Dict[str, dict]:
+        """Read every entry; quarantines the file if it is corrupt."""
+        if not os.path.exists(self.path):
+            return {}
+        try:
+            with open(self.path) as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            return {}  # quarantined/removed by a concurrent process
+        except (OSError, ValueError) as exc:
+            self._quarantine(f"unreadable JSON ({exc})")
+            return {}
+        entries = self._extract_entries(data)
+        if entries is None:
+            return {}
+        # drop (don't crash on) individually corrupt entries
+        return {k: v for k, v in entries.items() if isinstance(v, dict)}
+
+    def _extract_entries(self, data: object) -> Optional[Dict[str, dict]]:
+        if not isinstance(data, dict):
+            self._quarantine("top level is not an object")
+            return None
+        if "schema" not in data:
+            return data  # legacy flat {key: entry} layout
+        if data.get("schema") != SCHEMA_VERSION or not isinstance(
+            data.get("entries"), dict
+        ):
+            self._quarantine(
+                f"unsupported schema {data.get('schema')!r} "
+                f"(this build writes schema {SCHEMA_VERSION})"
+            )
+            return None
+        return data["entries"]
+
+    def _quarantine(self, reason: str) -> None:
+        for n in itertools.count():
+            dest = f"{self.path}.corrupt.{os.getpid()}.{n}"
+            if not os.path.exists(dest):
+                break
+        try:
+            os.replace(self.path, dest)
+        except OSError:
+            return  # another process already moved or removed it
+        logger.warning("quarantined corrupt result cache %s -> %s: %s",
+                       self.path, dest, reason)
+
+    # -- writing ---------------------------------------------------------
+
+    def store(self, key: str, entry: dict) -> None:
+        self.store_many({key: entry})
+
+    def store_many(self, entries: Dict[str, dict]) -> None:
+        """Merge ``entries`` into the cache file atomically."""
+        if not entries:
+            return
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        with FileLock(self.lock_path):
+            merged = self.load_all()
+            merged.update(entries)
+            self._publish(merged)
+
+    def _publish(self, entries: Dict[str, dict]) -> None:
+        payload = {"schema": SCHEMA_VERSION, "entries": entries}
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(payload, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

@@ -2,7 +2,10 @@
 
 One :class:`RunResult` feeds every table/figure that needs that
 configuration, so results are memoised per process and optionally on disk
-(``REPRO_CACHE=<path>``).  Simulation length is scaled by ``REPRO_SCALE``
+(``REPRO_CACHE=<path>``, crash-safe and shareable between concurrent
+processes -- see :mod:`repro.harness.cache`).  Independent specs can be
+computed across worker processes (``REPRO_JOBS`` /
+:mod:`repro.harness.parallel`).  Simulation length is scaled by ``REPRO_SCALE``
 (default 1.0): the default quanta are sized for laptop-speed pure-Python
 cycle simulation; the paper's 500M-cycle windows correspond to very large
 scales.  The synthetic workloads are stationary, so modest windows already
@@ -11,13 +14,14 @@ produce stable averages.
 
 from __future__ import annotations
 
-import json
+import math
 import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.circuits.outcomes import outcome_fractions
 from repro.cpu.workloads import ALL_WORKLOADS, workload_by_name
+from repro.harness.cache import ResultCache
 from repro.power.energy import network_energy
 from repro.sim.config import SystemConfig, Variant
 from repro.system import build_system
@@ -37,15 +41,49 @@ DEFAULT_WORKLOAD_SUBSET = [
 ]
 
 
+_FLAG_TRUE = {"1", "true", "yes", "on"}
+_FLAG_FALSE = {"", "0", "false", "no", "off"}
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Parse a boolean environment variable, rejecting garbage loudly."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if value in _FLAG_TRUE:
+        return True
+    if value in _FLAG_FALSE:
+        return False
+    raise ValueError(
+        f"{name} must be one of 1/0/true/false/yes/no/on/off, got {raw!r}"
+    )
+
+
 def scale() -> float:
     """Global simulation-length multiplier (env ``REPRO_SCALE``)."""
-    return float(os.environ.get("REPRO_SCALE", "1.0"))
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None or raw.strip() == "":
+        return 1.0
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SCALE must be a number (simulation-length multiplier, "
+            f"e.g. REPRO_SCALE=0.5), got {raw!r}"
+        ) from None
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(
+            f"REPRO_SCALE must be a finite number > 0 (it multiplies the "
+            f"measured instruction quanta), got {raw!r}"
+        )
+    return value
 
 
 def default_workloads(full: Optional[bool] = None) -> List[str]:
     """Workload names to sweep (env ``REPRO_FULL=1`` for all 22)."""
     if full is None:
-        full = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+        full = env_flag("REPRO_FULL")
     if full:
         return [w.name for w in ALL_WORKLOADS]
     return list(DEFAULT_WORKLOAD_SUBSET)
@@ -115,37 +153,28 @@ class RunResult:
 _memo: Dict[str, RunResult] = {}
 
 
-def _disk_cache_path() -> Optional[str]:
-    return os.environ.get("REPRO_CACHE") or None
+def _disk_cache() -> Optional[ResultCache]:
+    """The shared on-disk cache (env ``REPRO_CACHE``), if configured."""
+    return ResultCache.from_env()
 
 
 def _load_disk(key: str) -> Optional[RunResult]:
-    path = _disk_cache_path()
-    if path is None or not os.path.exists(path):
+    cache = _disk_cache()
+    if cache is None:
+        return None
+    entry = cache.load(key)
+    if entry is None:
         return None
     try:
-        with open(path) as handle:
-            data = json.load(handle)
-    except (OSError, ValueError):
-        return None
-    entry = data.get(key)
-    return RunResult.from_json(entry) if entry else None
+        return RunResult.from_json(entry)
+    except TypeError:
+        return None  # entry from an incompatible RunResult shape
 
 
 def _store_disk(result: RunResult) -> None:
-    path = _disk_cache_path()
-    if path is None:
-        return
-    data = {}
-    if os.path.exists(path):
-        try:
-            with open(path) as handle:
-                data = json.load(handle)
-        except (OSError, ValueError):
-            data = {}
-    data[result.spec_key] = result.to_json()
-    with open(path, "w") as handle:
-        json.dump(data, handle)
+    cache = _disk_cache()
+    if cache is not None:
+        cache.store(result.spec_key, result.to_json())
 
 
 def run_experiment(spec: RunSpec) -> RunResult:
@@ -193,9 +222,26 @@ def run_experiment(spec: RunSpec) -> RunResult:
 
 
 def run_matrix(n_cores: int, variants: Iterable[Variant],
-               workloads: Iterable[str], seed: int = 1
+               workloads: Iterable[str], seed: int = 1,
+               jobs: Optional[int] = None,
                ) -> Dict[Variant, Dict[str, RunResult]]:
-    """Sweep variants x workloads; returns results[variant][workload]."""
+    """Sweep variants x workloads; returns results[variant][workload].
+
+    With ``jobs > 1`` (or ``REPRO_JOBS`` set) the specs are computed
+    across worker processes first; assembly below then hits the memo, so
+    the returned results are bit-identical to a serial sweep.
+    """
+    from repro.harness import parallel
+
+    variants = list(variants)
+    workloads = list(workloads)
+    specs = [
+        RunSpec(n_cores, variant, workload, seed)
+        for variant in variants
+        for workload in workloads
+    ]
+    if parallel.resolve_jobs(jobs) > 1 and len(specs) > 1:
+        parallel.run_specs(specs, jobs=jobs)
     out: Dict[Variant, Dict[str, RunResult]] = {}
     for variant in variants:
         per = {}
@@ -209,7 +255,8 @@ def run_matrix(n_cores: int, variants: Iterable[Variant],
 
 def compare_variants(workload: str, n_cores: int = 16,
                      variants: Optional[Iterable[Variant]] = None,
-                     seed: int = 1) -> Dict[str, Dict[str, float]]:
+                     seed: int = 1,
+                     jobs: Optional[int] = None) -> Dict[str, Dict[str, float]]:
     """One-call comparison of circuit variants on a single workload.
 
     Returns, per variant name: speedup vs. baseline, normalised network
@@ -217,10 +264,17 @@ def compare_variants(workload: str, n_cores: int = 16,
     The convenient entry point for downstream users exploring the design
     space (``from repro import compare_variants``).
     """
+    from repro.harness import parallel
+
     if variants is None:
         variants = [Variant.BASELINE, Variant.FRAGMENTED, Variant.COMPLETE,
                     Variant.COMPLETE_NOACK, Variant.SLACKDELAY1_NOACK,
                     Variant.IDEAL]
+    variants = list(variants)
+    if parallel.resolve_jobs(jobs) > 1:
+        specs = [RunSpec(n_cores, v, workload, seed)
+                 for v in [Variant.BASELINE] + variants]
+        parallel.run_specs(specs, jobs=jobs)
     base = run_experiment(RunSpec(n_cores, Variant.BASELINE, workload, seed))
     out: Dict[str, Dict[str, float]] = {}
     for variant in variants:

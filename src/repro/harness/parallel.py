@@ -1,0 +1,231 @@
+"""Multiprocess experiment engine.
+
+Every :class:`~repro.harness.experiment.RunSpec` is independent (own
+system, own deterministic RNG seeded from the spec), so a sweep is
+embarrassingly parallel.  This module schedules specs across a
+:class:`concurrent.futures.ProcessPoolExecutor` and feeds the results
+back into the in-process memo, so the serial table/figure assembly code
+consumes them exactly as if it had computed them itself:
+
+* worker count from ``REPRO_JOBS`` (``0`` = one worker per CPU core,
+  which is also the default when the engine is invoked explicitly);
+* a per-run timeout enforced *inside* the worker via ``SIGALRM`` (the
+  pool slot is freed, the pool survives);
+* one retry when a worker process dies (segfault, OOM kill, ...);
+* progress / ETA logging through the ``repro.harness.parallel`` logger
+  and an optional ``echo`` callback.
+
+Determinism: a run's measurements depend only on its spec (seeds
+included), never on scheduling, and results are assembled by spec key,
+so parallel and serial execution produce bit-identical
+:class:`RunResult` values.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Iterable, Optional
+
+logger = logging.getLogger("repro.harness.parallel")
+
+
+class ParallelError(RuntimeError):
+    """Base class for experiment-engine failures."""
+
+
+class RunTimeoutError(ParallelError):
+    """A run exceeded its per-run timeout."""
+
+
+class WorkerCrashError(ParallelError):
+    """A run kept killing its worker process after the allowed retries."""
+
+
+def resolve_jobs(jobs: Optional[int] = None, default: int = 1) -> int:
+    """Worker-process count: explicit value, else ``REPRO_JOBS``, else
+    ``default``.  ``0`` means one worker per CPU core.
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS")
+        if raw is None or raw.strip() == "":
+            jobs = default
+        else:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be a non-negative integer "
+                    f"(0 = one worker per CPU core), got {raw!r}"
+                ) from None
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(
+            f"REPRO_JOBS / --jobs must be >= 0 "
+            f"(0 = one worker per CPU core), got {jobs}"
+        )
+    return jobs
+
+
+def _invoke(worker: Callable, payload, timeout: Optional[float]):
+    """Run ``worker(payload)`` in the child, enforcing the per-run timeout.
+
+    ``SIGALRM`` interrupts the simulation loop wherever it is, the
+    resulting :class:`RunTimeoutError` pickles back through the future,
+    and the worker process stays alive for the next task.
+    """
+    if timeout and timeout > 0 and hasattr(signal, "SIGALRM"):
+        def _alarm(signum, frame):
+            raise RunTimeoutError(f"run exceeded the {timeout:g}s timeout")
+
+        previous = signal.signal(signal.SIGALRM, _alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            return worker(payload)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    return worker(payload)
+
+
+def run_tasks(
+    tasks: Dict[str, object],
+    worker: Callable,
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    crash_retries: int = 1,
+    echo: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run ``worker(payload)`` for every ``{key: payload}`` task.
+
+    Returns ``{key: result}``.  Raises :class:`RunTimeoutError` if any
+    run times out, :class:`WorkerCrashError` if runs are still killing
+    workers after ``crash_retries`` pool restarts, and re-raises the
+    first ordinary worker exception.
+    """
+    jobs = resolve_jobs(jobs)
+    todo = dict(tasks)
+    results: Dict[str, object] = {}
+    attempts = {key: 0 for key in todo}
+    timed_out: Dict[str, RunTimeoutError] = {}
+    total = len(todo)
+    started = time.monotonic()
+
+    def _progress() -> None:
+        done = len(results)
+        elapsed = time.monotonic() - started
+        eta = elapsed / done * (total - done) if done else float("inf")
+        message = (f"[repro] {done}/{total} runs done, "
+                   f"{elapsed:.0f}s elapsed, ETA {eta:.0f}s")
+        logger.info(message)
+        if echo is not None:
+            echo(message)
+
+    while todo:
+        pool_broke = False
+        with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
+            futures = {
+                pool.submit(_invoke, worker, payload, timeout): key
+                for key, payload in todo.items()
+            }
+            for future in as_completed(futures):
+                key = futures[future]
+                try:
+                    results[key] = future.result()
+                except RunTimeoutError as exc:
+                    # no retry: a deterministic run that timed out once
+                    # will time out again
+                    timed_out[key] = exc
+                    todo.pop(key)
+                except BrokenProcessPool:
+                    # the pool is dead; every still-pending task lands
+                    # here, and we cannot tell which one was the killer
+                    pool_broke = True
+                    attempts[key] += 1
+                except Exception:
+                    # an ordinary worker error is deterministic; don't
+                    # wait for the rest of the matrix before raising it
+                    for pending in futures:
+                        pending.cancel()
+                    raise
+                else:
+                    todo.pop(key)
+                    _progress()
+        if timed_out and not todo:
+            break
+        if pool_broke:
+            exhausted = sorted(
+                key for key in todo if attempts[key] > crash_retries
+            )
+            if exhausted:
+                raise WorkerCrashError(
+                    f"worker process died repeatedly (> {crash_retries} "
+                    f"retries) while running: {', '.join(exhausted)}"
+                )
+            logger.warning(
+                "worker process died; retrying %d unfinished run(s)",
+                len(todo),
+            )
+    if timed_out:
+        keys = ", ".join(sorted(timed_out))
+        raise RunTimeoutError(
+            f"{len(timed_out)} run(s) exceeded the {timeout:g}s "
+            f"per-run timeout: {keys}"
+        )
+    return results
+
+
+def _run_one(spec) -> object:
+    """Pool worker: simulate one spec (module-level, hence picklable)."""
+    from repro.harness.experiment import run_experiment
+
+    return run_experiment(spec)
+
+
+def run_specs(
+    specs: Iterable,
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    echo: Optional[Callable[[str], None]] = None,
+):
+    """Compute every spec across worker processes; seed the local memo.
+
+    Returns ``{scaled spec key: RunResult}``.  Specs already memoised in
+    this process are served locally; the rest are deduplicated by key and
+    farmed out.  Afterwards ``run_experiment`` on any of these specs is a
+    memo hit, so serial assembly code (tables, figures) transparently
+    consumes parallel results.
+    """
+    from repro.harness import experiment
+
+    jobs = resolve_jobs(jobs, default=0)
+    unique: Dict[str, object] = {}
+    for spec in specs:
+        unique.setdefault(spec.scaled().key(), spec)
+
+    results = {}
+    pending: Dict[str, object] = {}
+    for key, spec in unique.items():
+        if key in experiment._memo:
+            results[key] = experiment._memo[key]
+        else:
+            pending[key] = spec
+
+    if pending:
+        if jobs <= 1 or len(pending) == 1:
+            for key, spec in pending.items():
+                results[key] = experiment.run_experiment(spec)
+        else:
+            logger.info("running %d spec(s) across %d worker processes",
+                        len(pending), jobs)
+            computed = run_tasks(pending, worker=_run_one, jobs=jobs,
+                                 timeout=timeout, echo=echo)
+            for key, result in computed.items():
+                experiment._memo[key] = result
+                results[key] = result
+    return results

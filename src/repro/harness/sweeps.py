@@ -9,8 +9,9 @@ protocol simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.harness import parallel
 from repro.noc.traffic import RequestReplyTraffic
 from repro.sim.config import NocConfig, SystemConfig, Variant
 
@@ -38,12 +39,36 @@ def _measure(config: SystemConfig, rate: float, cycles: int, seed: int,
     )
 
 
+def _measure_task(payload: Tuple) -> SweepPoint:
+    """Pool worker for one sweep point (module-level, hence picklable)."""
+    return _measure(*payload)
+
+
+def _measure_points(payloads: Sequence[Tuple],
+                    jobs: Optional[int]) -> List[SweepPoint]:
+    """Measure the points serially or across worker processes.
+
+    Every point is an independent traffic simulation with its own seed,
+    so the results are identical either way; they are re-ordered back to
+    the input order after a parallel run.
+    """
+    n_jobs = parallel.resolve_jobs(jobs)
+    if n_jobs <= 1 or len(payloads) <= 1:
+        return [_measure(*payload) for payload in payloads]
+    done = parallel.run_tasks(
+        {str(i): payload for i, payload in enumerate(payloads)},
+        worker=_measure_task, jobs=n_jobs,
+    )
+    return [done[str(i)] for i in range(len(payloads))]
+
+
 def mesh_scaling_sweep(
     sides: Sequence[int] = (4, 6, 8, 10),
     variant: Variant = Variant.COMPLETE_NOACK,
     rate: float = 6.0,
     cycles: int = 5_000,
     seed: int = 1,
+    jobs: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Circuit success vs. chip size (the paper's scalability concern).
 
@@ -51,12 +76,12 @@ def mesh_scaling_sweep(
     the success rate falls as the mesh grows - the effect behind the gap
     between the paper's Figures 6a and 6b.
     """
-    points = []
-    for side in sides:
-        config = SystemConfig(n_cores=side * side).with_variant(variant)
-        points.append(_measure(config, rate, cycles, seed,
-                               label=f"{side * side} cores"))
-    return points
+    payloads = [
+        (SystemConfig(n_cores=side * side).with_variant(variant),
+         rate, cycles, seed, f"{side * side} cores")
+        for side in sides
+    ]
+    return _measure_points(payloads, jobs)
 
 
 def load_sweep(
@@ -65,14 +90,15 @@ def load_sweep(
     n_cores: int = 16,
     cycles: int = 5_000,
     seed: int = 1,
+    jobs: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Circuit success and latency vs. injection rate (section 5.5)."""
-    points = []
-    for rate in rates:
-        config = SystemConfig(n_cores=n_cores).with_variant(variant)
-        points.append(_measure(config, rate, cycles, seed,
-                               label=f"{rate:g} req/kcyc"))
-    return points
+    payloads = [
+        (SystemConfig(n_cores=n_cores).with_variant(variant),
+         rate, cycles, seed, f"{rate:g} req/kcyc")
+        for rate in rates
+    ]
+    return _measure_points(payloads, jobs)
 
 
 def buffer_depth_sweep(
@@ -82,21 +108,20 @@ def buffer_depth_sweep(
     rate: float = 24.0,
     cycles: int = 5_000,
     seed: int = 1,
+    jobs: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Reply latency vs. router buffer depth (baseline sensitivity).
 
     The paper's Table 4 fixes 5-flit buffers ("enough to store a whole
     message"); this sweep shows what that choice buys under load.
     """
-    points = []
-    for depth in depths:
-        base = SystemConfig(n_cores=n_cores).with_variant(variant)
-        config = replace(
-            base, noc=replace(base.noc, buffer_depth_flits=depth)
-        )
-        points.append(_measure(config, rate, cycles, seed,
-                               label=f"{depth}-flit buffers"))
-    return points
+    base = SystemConfig(n_cores=n_cores).with_variant(variant)
+    payloads = [
+        (replace(base, noc=replace(base.noc, buffer_depth_flits=depth)),
+         rate, cycles, seed, f"{depth}-flit buffers")
+        for depth in depths
+    ]
+    return _measure_points(payloads, jobs)
 
 
 def render_sweep(points: Sequence[SweepPoint], title: str) -> str:

@@ -76,13 +76,15 @@ class Simulator:
         :class:`DeadlockError` if ``max_cycles`` elapse first.
         """
         deadline = self.cycle + max_cycles
+        if done():
+            return self.cycle
         while self.cycle < deadline:
-            for _ in range(check_interval):
+            # clamp the chunk so we never step past the deadline and
+            # report success for work done on borrowed cycles
+            for _ in range(min(check_interval, deadline - self.cycle)):
                 self.step()
             if done():
                 return self.cycle
-        if done():
-            return self.cycle
         raise DeadlockError(
             f"simulation did not complete within {max_cycles} cycles"
         )

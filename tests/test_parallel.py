@@ -1,0 +1,261 @@
+"""Parallel experiment engine and the crash-safe shared result cache."""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.harness import parallel
+from repro.harness.cache import (
+    SCHEMA_VERSION,
+    CacheLockTimeout,
+    FileLock,
+    ResultCache,
+)
+from repro.harness.experiment import (
+    RunSpec,
+    _memo,
+    default_workloads,
+    run_experiment,
+    run_matrix,
+    scale,
+)
+from repro.sim.config import Variant
+
+SMALL = dict(measure_instructions=250, warmup_instructions=80)
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    """Isolate every test from ambient REPRO_* settings."""
+    for var in ("REPRO_SCALE", "REPRO_FULL", "REPRO_CACHE", "REPRO_JOBS"):
+        monkeypatch.delenv(var, raising=False)
+
+
+# ---------------------------------------------------------------------------
+# env-var validation (REPRO_JOBS / REPRO_SCALE / REPRO_FULL)
+
+
+def test_resolve_jobs_env(monkeypatch):
+    assert parallel.resolve_jobs() == 1
+    assert parallel.resolve_jobs(default=0) == (os.cpu_count() or 1)
+    assert parallel.resolve_jobs(3) == 3
+    assert parallel.resolve_jobs(0) == (os.cpu_count() or 1)
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert parallel.resolve_jobs() == 5
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert parallel.resolve_jobs() == (os.cpu_count() or 1)
+
+
+def test_resolve_jobs_rejects_garbage(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
+        parallel.resolve_jobs()
+    monkeypatch.setenv("REPRO_JOBS", "-2")
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
+        parallel.resolve_jobs()
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
+        parallel.resolve_jobs(-1)
+
+
+def test_scale_env_validation(monkeypatch):
+    for bad in ("banana", "0", "-1", "inf", "nan"):
+        monkeypatch.setenv("REPRO_SCALE", bad)
+        with pytest.raises(ValueError, match="REPRO_SCALE"):
+            scale()
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    assert scale() == 0.5
+    monkeypatch.delenv("REPRO_SCALE")
+    assert scale() == 1.0
+
+
+def test_full_env_validation(monkeypatch):
+    monkeypatch.setenv("REPRO_FULL", "maybe")
+    with pytest.raises(ValueError, match="REPRO_FULL"):
+        default_workloads()
+    monkeypatch.setenv("REPRO_FULL", "YES")
+    assert len(default_workloads()) == 22
+    monkeypatch.setenv("REPRO_FULL", "off")
+    assert len(default_workloads()) == 6
+
+
+# ---------------------------------------------------------------------------
+# generic engine behaviour (crash retry, timeout) via scripted workers
+
+
+def _scripted_worker(payload):
+    """Crash on first attempt if given a sentinel path, else double."""
+    sentinel, value = payload
+    if sentinel and not os.path.exists(sentinel):
+        open(sentinel, "w").close()
+        os._exit(17)  # simulate a segfaulting / OOM-killed worker
+    return value * 2
+
+
+def _always_crash(payload):
+    os._exit(17)
+
+
+def _sleep_forever(payload):
+    time.sleep(60)
+    return payload
+
+
+def test_worker_crash_is_retried_once(tmp_path):
+    sentinel = str(tmp_path / "crash.once")
+    out = parallel.run_tasks(
+        {"a": (sentinel, 1), "b": (None, 2)}, worker=_scripted_worker, jobs=2
+    )
+    assert out == {"a": 2, "b": 4}
+
+
+def test_worker_crash_exhausts_retries():
+    with pytest.raises(parallel.WorkerCrashError, match="died repeatedly"):
+        parallel.run_tasks({"a": (None, 1)}, worker=_always_crash, jobs=1)
+
+
+def test_per_run_timeout():
+    started = time.monotonic()
+    with pytest.raises(parallel.RunTimeoutError, match="timeout"):
+        parallel.run_tasks(
+            {"a": None}, worker=_sleep_forever, jobs=1, timeout=0.3
+        )
+    assert time.monotonic() - started < 30
+
+
+# ---------------------------------------------------------------------------
+# serial/parallel result equality
+
+
+def test_run_specs_matches_serial_and_seeds_memo():
+    specs = [
+        RunSpec(16, Variant.BASELINE, "water_spatial", seed=1, **SMALL),
+        RunSpec(16, Variant.COMPLETE_NOACK, "water_spatial", seed=1, **SMALL),
+    ]
+    _memo.clear()
+    serial = {s.scaled().key(): run_experiment(s) for s in specs}
+    _memo.clear()
+    results = parallel.run_specs(specs, jobs=2)
+    assert set(results) == set(serial)
+    for key, result in results.items():
+        assert result.to_json() == serial[key].to_json()
+    # the memo was seeded, so serial assembly code gets memo hits
+    assert run_experiment(specs[0]) is results[specs[0].scaled().key()]
+
+
+def test_run_matrix_parallel_is_bit_identical(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_SCALE", "0.08")  # tiny quanta, tiny warmup
+    workloads = ["water_spatial", "blackscholes"]
+    variants = [Variant.BASELINE, Variant.COMPLETE_NOACK, Variant.COMPLETE]
+    _memo.clear()
+    serial = run_matrix(16, variants, workloads)
+    _memo.clear()
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache.json"))
+    par = run_matrix(16, variants, workloads)
+    for variant in variants:
+        for workload in workloads:
+            assert (par[variant][workload].to_json()
+                    == serial[variant][workload].to_json()), (variant, workload)
+    # the six specs landed in the shared disk cache with the right schema
+    data = json.loads((tmp_path / "cache.json").read_text())
+    assert data["schema"] == SCHEMA_VERSION
+    assert len(data["entries"]) == 6
+
+
+# ---------------------------------------------------------------------------
+# crash-safe result cache
+
+
+def test_cache_quarantines_corrupt_file(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text("{ definitely not json")
+    cache = ResultCache(str(path))
+    assert cache.load("k") is None
+    assert not path.exists()  # moved aside, not retried forever
+    quarantined = list(tmp_path.glob("cache.json.corrupt.*"))
+    assert len(quarantined) == 1
+    assert quarantined[0].read_text() == "{ definitely not json"
+    cache.store("k", {"x": 1})  # a fresh, valid file replaces it
+    data = json.loads(path.read_text())
+    assert data == {"schema": SCHEMA_VERSION, "entries": {"k": {"x": 1}}}
+
+
+def test_cache_quarantines_unknown_schema(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text(json.dumps({"schema": 999, "entries": {"k": {}}}))
+    cache = ResultCache(str(path))
+    assert cache.load_all() == {}
+    assert list(tmp_path.glob("cache.json.corrupt.*"))
+
+
+def test_cache_reads_and_upgrades_legacy_layout(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text(json.dumps({"old-key": {"x": 1}}))
+    cache = ResultCache(str(path))
+    assert cache.load("old-key") == {"x": 1}
+    cache.store("new-key", {"y": 2})
+    data = json.loads(path.read_text())
+    assert data["schema"] == SCHEMA_VERSION
+    assert data["entries"] == {"old-key": {"x": 1}, "new-key": {"y": 2}}
+
+
+def test_cache_merge_on_write(tmp_path):
+    path = str(tmp_path / "cache.json")
+    ResultCache(path).store("a", {"v": 1})
+    ResultCache(path).store("b", {"v": 2})
+    assert ResultCache(path).load_all() == {"a": {"v": 1}, "b": {"v": 2}}
+
+
+def test_cache_drops_corrupt_entries_not_file(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text(json.dumps(
+        {"schema": SCHEMA_VERSION,
+         "entries": {"good": {"v": 1}, "bad": "not-a-dict"}}
+    ))
+    cache = ResultCache(str(path))
+    assert cache.load_all() == {"good": {"v": 1}}
+    assert path.exists()
+
+
+def test_file_lock_times_out_then_breaks_stale(tmp_path):
+    lock_path = str(tmp_path / "cache.json.lock")
+    with FileLock(lock_path):
+        contender = FileLock(lock_path, timeout=0.2, stale_seconds=60)
+        with pytest.raises(CacheLockTimeout):
+            contender.acquire()
+    # a crashed writer's stale lock is broken instead of deadlocking
+    open(lock_path, "w").close()
+    os.utime(lock_path, (time.time() - 120, time.time() - 120))
+    with FileLock(lock_path, timeout=5, stale_seconds=30):
+        pass
+    assert not os.path.exists(lock_path)
+
+
+def _hammer(path, start, count):
+    cache = ResultCache(path)
+    for i in range(start, start + count):
+        cache.store(f"key-{i}", {"value": i})
+
+
+def test_cache_multiprocess_hammer(tmp_path):
+    """>= 4 concurrent writers on one cache file lose nothing."""
+    path = str(tmp_path / "cache.json")
+    workers = [
+        multiprocessing.Process(target=_hammer, args=(path, w * 20, 20))
+        for w in range(5)
+    ]
+    for proc in workers:
+        proc.start()
+    for proc in workers:
+        proc.join(timeout=120)
+    assert all(proc.exitcode == 0 for proc in workers)
+    entries = ResultCache(path).load_all()
+    assert len(entries) == 100
+    for i in range(100):
+        assert entries[f"key-{i}"] == {"value": i}
+    data = json.loads(open(path).read())  # never a torn file
+    assert data["schema"] == SCHEMA_VERSION
+    assert not list(tmp_path.glob("*.corrupt.*"))

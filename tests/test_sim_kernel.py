@@ -42,6 +42,33 @@ def test_run_until_deadline():
         sim.run_until(lambda: False, max_cycles=50)
 
 
+def test_run_until_never_steps_past_deadline():
+    # regression: check_interval (64) > max_cycles used to overshoot by
+    # up to check_interval - 1 cycles before the deadline re-check
+    sim = Simulator()
+    with pytest.raises(DeadlockError):
+        sim.run_until(lambda: False, max_cycles=50, check_interval=64)
+    assert sim.cycle == 50
+
+
+def test_run_until_no_success_on_borrowed_cycles():
+    # regression: completion after max_cycles but within the overshot
+    # chunk used to be reported as success instead of DeadlockError
+    sim = Simulator()
+    counter = Counter()
+    sim.add(counter)
+    with pytest.raises(DeadlockError):
+        sim.run_until(lambda: len(counter.ticks) >= 60, max_cycles=50,
+                      check_interval=64)
+    assert sim.cycle == 50
+
+
+def test_run_until_done_at_entry_runs_nothing():
+    sim = Simulator()
+    assert sim.run_until(lambda: True, max_cycles=10) == 0
+    assert sim.cycle == 0
+
+
 def test_progress_watchdog_detects_stall():
     sim = Simulator()
     watchdog = ProgressWatchdog(lambda: 42, window=10)

@@ -3,22 +3,56 @@
 sizes, and dump the rendered report plus a JSON result cache.
 
 Usage:
-    REPRO_SCALE=0.6 python tools/run_reproduction.py out/report.txt
+    REPRO_SCALE=0.6 python tools/run_reproduction.py out/report.txt --jobs 4
 
-The run honours REPRO_SCALE / REPRO_FULL / REPRO_CACHE like the harness.
+The run honours REPRO_SCALE / REPRO_FULL / REPRO_CACHE / REPRO_JOBS like
+the harness.  With more than one job, every simulation the report needs
+is computed up front across worker processes; the rendering below then
+assembles the identical results from the in-process memo.
 """
 
-import json
+import argparse
 import os
 import sys
 import time
 
-from repro.harness import figures, render, tables
-from repro.harness.experiment import default_workloads
+from repro.harness import figures, parallel, render, tables
+from repro.harness.experiment import RunSpec, default_workloads
+from repro.sim.config import Variant
 
 
-def main() -> int:
-    out_path = sys.argv[1] if len(sys.argv) > 1 else "reproduction_report.txt"
+def _all_specs(workloads, full, seed):
+    """Every spec the report simulates, deduplicated by key."""
+    variants = [Variant.BASELINE]
+    for group in (figures.FIG6_VARIANTS, figures.FIG7_VARIANTS,
+                  figures.FIG8_VARIANTS, figures.FIG9_VARIANTS,
+                  [Variant.COMPLETE_NOACK, Variant.SLACKDELAY1_NOACK]):
+        for variant in group:
+            if variant not in variants:
+                variants.append(variant)
+    specs = [
+        RunSpec(cores, variant, workload, seed)
+        for cores in (16, 64)
+        for variant in variants
+        for workload in workloads
+    ]
+    specs += [
+        RunSpec(64, variant, workload, seed)
+        for variant in (Variant.BASELINE, Variant.SLACKDELAY1_NOACK)
+        for workload in full
+    ]
+    return specs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", nargs="?", default="reproduction_report.txt")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (0 = one per CPU core; "
+                             "default: REPRO_JOBS or serial)")
+    args = parser.parse_args(argv)
+
     workloads = default_workloads()
     full = default_workloads(full=True)
     lines = []
@@ -28,6 +62,13 @@ def main() -> int:
         lines.append(text)
 
     t0 = time.time()
+    jobs = parallel.resolve_jobs(args.jobs)
+    if jobs > 1:
+        parallel.run_specs(
+            _all_specs(workloads, full, args.seed), jobs=jobs,
+            echo=lambda msg: print(msg, file=sys.stderr, flush=True),
+        )
+
     emit(f"# Reactive Circuits reproduction report")
     emit(f"# scale={os.environ.get('REPRO_SCALE', '1.0')} "
          f"workloads={workloads}")
@@ -40,36 +81,36 @@ def main() -> int:
     for cores in (16, 64):
         emit(f"=================== {cores} cores ===================")
         emit(f"## Table 1 - message mix ({cores} cores)")
-        emit(render.render_table1(tables.table1(workloads, cores),
+        emit(render.render_table1(tables.table1(workloads, cores, args.seed),
                                   tables.TABLE1_PAPER))
         emit()
         emit(f"## Table 5 - reservation ordinals ({cores} cores)")
-        emit(render.render_table5(tables.table5(workloads, cores),
+        emit(render.render_table5(tables.table5(workloads, cores, args.seed),
                                   tables.TABLE5_PAPER))
         emit()
         emit(f"## Figure 6 - reply outcomes ({cores} cores)")
-        emit(render.render_figure6(figures.figure6(workloads, cores)))
+        emit(render.render_figure6(figures.figure6(workloads, cores, args.seed)))
         emit()
         emit(f"## Figure 7 - message latency ({cores} cores)")
-        emit(render.render_figure7(figures.figure7(workloads, cores)))
+        emit(render.render_figure7(figures.figure7(workloads, cores, args.seed)))
         emit()
         emit(f"## Figure 8 - normalised network energy ({cores} cores)")
         emit(render.render_ratio_figure(
-            figures.figure8(workloads, cores), "energy vs baseline"))
+            figures.figure8(workloads, cores, args.seed), "energy vs baseline"))
         emit()
         emit(f"## Figure 9 - speedup ({cores} cores)")
         emit(render.render_ratio_figure(
-            figures.figure9(workloads, cores), "speedup"))
+            figures.figure9(workloads, cores, args.seed), "speedup"))
         emit()
         emit(f"[{time.time() - t0:.0f}s elapsed]")
 
     emit("## Figure 10 - per-application speedup "
          "(64 cores, SlackDelay1+NoAck, all workloads)")
-    emit(render.render_figure10(figures.figure10(full, 64)))
+    emit(render.render_figure10(figures.figure10(full, 64, args.seed)))
     emit()
     emit(f"# total {time.time() - t0:.0f}s")
 
-    with open(out_path, "w") as handle:
+    with open(args.output, "w") as handle:
         handle.write("\n".join(lines) + "\n")
     return 0
 
