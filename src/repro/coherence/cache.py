@@ -150,5 +150,12 @@ class CacheArray(Generic[L]):
     def occupancy(self) -> int:
         return len(self._where)
 
+    def items(self):
+        """Yield every resident ``(addr, line)`` pair, recency untouched."""
+        for cache_set in self._sets:
+            for addr, line in zip(cache_set.addrs, cache_set.lines):
+                if addr is not None:
+                    yield addr, line
+
     def __contains__(self, addr: int) -> bool:
         return addr in self._where

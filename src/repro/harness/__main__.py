@@ -5,21 +5,28 @@ Usage::
     python -m repro.harness table1 [--cores 64] [--full]
     python -m repro.harness fig9 --cores 16 --jobs 4
     python -m repro.harness all --jobs 0      # one worker per CPU core
+    python -m repro.harness table1 --check    # audit invariants while running
+    python -m repro.harness check             # monitored clean variant sweep
+    python -m repro.harness inject            # seeded fault-injection campaign
 
 Environment:
-    REPRO_SCALE  simulation-length multiplier (default 1.0)
-    REPRO_FULL   1 = sweep all 22 workloads (default: 6-workload subset)
-    REPRO_CACHE  path of a JSON result cache reused across invocations
-    REPRO_JOBS   worker processes when --jobs is not given (0 = all cores)
+    REPRO_SCALE      simulation-length multiplier (default 1.0)
+    REPRO_FULL       1 = sweep all 22 workloads (default: 6-workload subset)
+    REPRO_CACHE      path of a JSON result cache reused across invocations
+    REPRO_JOBS       worker processes when --jobs is not given (0 = all cores)
+    REPRO_CHECK      1 = run the invariant monitor inside every experiment
+    REPRO_FAILFAST   1 = abort sweeps on the first failing run
+    REPRO_CRASH_DIR  where crash reports land (default out/crash)
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.harness import figures, parallel, render, tables
-from repro.harness.experiment import RunSpec, default_workloads
+from repro.harness.experiment import RunSpec, crash_dir, default_workloads
 from repro.sim.config import Variant
 
 
@@ -76,6 +83,74 @@ def cmd_fig10(args) -> None:
     print(render.render_figure10(data))
 
 
+def cmd_check(args) -> int:
+    """Monitored clean sweep across switching variants (zero violations)."""
+    from repro.sim.kernel import SimulationError
+    from repro.validate import CHECK_VARIANTS, measure_overhead, run_clean
+
+    cycles = args.cycles or 5000
+    failures = 0
+    print(f"Invariant-checked clean sweep ({cycles} cycles/variant)")
+    for variant in CHECK_VARIANTS:
+        try:
+            report = run_clean(variant, cycles=cycles)
+        except SimulationError as exc:
+            failures += 1
+            print(f"  {variant.value:22s} VIOLATION: {exc}")
+            continue
+        print(f"  {report.variant:22s} OK  {report.checks_run} checks, "
+              f"{report.requests_sent} requests, "
+              f"{report.wall_seconds:.1f}s")
+    overhead = measure_overhead(cycles=min(cycles, 5000))
+    print(f"monitor overhead at production cadence (interval 2000): "
+          f"{(overhead - 1) * 100:+.1f}%")
+    if failures:
+        print(f"{failures} variant(s) FAILED")
+        return 1
+    print("all variants clean: zero violations")
+    return 0
+
+
+def cmd_inject(args) -> int:
+    """Seeded fault-injection campaign: one fault per class, each must be
+    caught by its own checker."""
+    from repro.validate import FaultKind, run_campaign, run_fault
+
+    directory = crash_dir()
+    if args.inject and args.inject != "all":
+        try:
+            kinds = [FaultKind(args.inject)]
+        except ValueError:
+            choices = ", ".join(k.value for k in FaultKind)
+            print(f"error: unknown fault {args.inject!r} (choose from "
+                  f"{choices} or all)", file=sys.stderr)
+            return 2
+        outcomes = [run_fault(kinds[0], seed=args.seed,
+                              crash_dir=directory)]
+    else:
+        outcomes = run_campaign(seed=args.seed, crash_dir=directory)
+    print("Fault-injection campaign "
+          f"(seed {args.seed}, crash reports in {directory})")
+    print(f"  {'fault':18s} {'variant':20s} {'detected by':20s} "
+          f"{'expected':20s} verdict")
+    failures = 0
+    for o in outcomes:
+        verdict = "OK" if o.ok else "FAIL"
+        if not o.ok:
+            failures += 1
+        print(f"  {o.fault:18s} {o.variant:20s} {str(o.checker):20s} "
+              f"{o.expected_checker:20s} {verdict}")
+        if o.report_path:
+            print(f"      report: {o.report_path}")
+        if not o.ok:
+            print(f"      injected={o.injected} error={o.error}")
+    if failures:
+        print(f"{failures} fault class(es) escaped their checker")
+        return 1
+    print("every fault class was detected by its checker")
+    return 0
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "table5": cmd_table5,
@@ -124,7 +199,8 @@ def main(argv=None) -> int:
         prog="repro-harness",
         description="Regenerate the paper's tables and figures.",
     )
-    parser.add_argument("what", choices=list(COMMANDS) + ["all"])
+    parser.add_argument("what", nargs="?", default=None,
+                        choices=list(COMMANDS) + ["all", "check", "inject"])
     parser.add_argument("--cores", type=int, default=16,
                         help="chip size (16 or 64; default 16)")
     parser.add_argument("--seed", type=int, default=1)
@@ -134,12 +210,36 @@ def main(argv=None) -> int:
                         help="worker processes for the simulations "
                              "(0 = one per CPU core; default: REPRO_JOBS "
                              "or serial)")
+    parser.add_argument("--check", action="store_true",
+                        help="with a table/figure: audit invariants inside "
+                             "every run (REPRO_CHECK=1); alone: run the "
+                             "clean validation sweep")
+    parser.add_argument("--inject", metavar="FAULT", nargs="?", const="all",
+                        default=None,
+                        help="run the seeded fault-injection campaign "
+                             "(optionally a single fault class)")
+    parser.add_argument("--fail-fast", dest="fail_fast", action="store_true",
+                        help="abort a sweep on the first failing run "
+                             "instead of recording a failure result")
+    parser.add_argument("--cycles", type=int, default=None,
+                        help="cycles per clean-sweep run (check command)")
     args = parser.parse_args(argv)
     try:
         jobs = parallel.resolve_jobs(args.jobs)
     except ValueError as exc:
         # malformed --jobs / REPRO_JOBS: a message beats a traceback
         parser.error(str(exc))
+    if args.what == "inject" or (args.what is None and args.inject):
+        return cmd_inject(args)
+    if args.what == "check" or (args.what is None and args.check):
+        return cmd_check(args)
+    if args.what is None:
+        parser.error("nothing to do: name a table/figure, or use "
+                     "--check / --inject")
+    if args.check:
+        os.environ["REPRO_CHECK"] = "1"
+    if args.fail_fast:
+        os.environ["REPRO_FAILFAST"] = "1"
     names = list(COMMANDS) if args.what == "all" else [args.what]
     try:
         if jobs > 1:

@@ -119,7 +119,13 @@ class RunSpec:
 
 @dataclass
 class RunResult:
-    """Flattened measurements of one run (everything the figures need)."""
+    """Flattened measurements of one run (everything the figures need).
+
+    A failed run (deadlock / invariant violation under graceful
+    degradation) carries ``error``/``error_kind``/``crash_report``
+    instead of measurements; consumers must check :attr:`failed` before
+    dividing by ``exec_cycles``.
+    """
 
     spec_key: str
     n_cores: int
@@ -131,6 +137,13 @@ class RunResult:
     outcomes: Dict[str, float] = field(default_factory=dict)
     energy_dynamic: float = 0.0
     energy_static: float = 0.0
+    error: Optional[str] = None
+    error_kind: Optional[str] = None
+    crash_report: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
     @property
     def energy_total(self) -> float:
@@ -177,8 +190,19 @@ def _store_disk(result: RunResult) -> None:
         cache.store(result.spec_key, result.to_json())
 
 
+def crash_dir() -> str:
+    """Directory for crash reports (env ``REPRO_CRASH_DIR``)."""
+    return os.environ.get("REPRO_CRASH_DIR") or os.path.join("out", "crash")
+
+
 def run_experiment(spec: RunSpec) -> RunResult:
-    """Simulate one configuration (memoised per process and on disk)."""
+    """Simulate one configuration (memoised per process and on disk).
+
+    With ``REPRO_CHECK=1`` an :class:`~repro.validate.InvariantMonitor`
+    audits the run every ``REPRO_CHECK_INTERVAL`` cycles (default 2000).
+    The monitor is read-only, so checked results are bit-identical to
+    unchecked ones and share the same cache entries.
+    """
     spec = spec.scaled()
     key = spec.key()
     if key in _memo:
@@ -192,6 +216,14 @@ def run_experiment(spec: RunSpec) -> RunResult:
         spec.variant
     )
     system = build_system(config, workload_by_name(spec.workload))
+    if env_flag("REPRO_CHECK"):
+        from repro.validate import InvariantMonitor
+
+        raw = os.environ.get("REPRO_CHECK_INTERVAL")
+        interval = int(raw) if raw else 2000
+        InvariantMonitor(
+            system.network, system=system, interval=interval
+        ).attach(system.sim)
     if spec.warmup_instructions:
         system.warmup(spec.warmup_instructions)
     start = system.sim.cycle
@@ -221,18 +253,73 @@ def run_experiment(spec: RunSpec) -> RunResult:
     return result
 
 
+def run_experiment_safe(spec: RunSpec) -> RunResult:
+    """Like :func:`run_experiment`, but degrade simulation failures.
+
+    A :class:`~repro.sim.kernel.SimulationError` (deadlock, invariant
+    violation, ...) becomes a failure :class:`RunResult` with the crash
+    report saved under :func:`crash_dir`, so one sick configuration
+    cannot abort a whole sweep.  Failure results are memoised in-process
+    only - never written to the shared disk cache.
+    """
+    from repro.sim.kernel import SimulationError
+
+    spec = spec.scaled()
+    key = spec.key()
+    if key in _memo:
+        return _memo[key]
+    try:
+        return run_experiment(spec)
+    except SimulationError as exc:
+        result = RunResult(
+            spec_key=key,
+            n_cores=spec.n_cores,
+            variant=spec.variant.value,
+            workload=spec.workload,
+            exec_cycles=0,
+            error=str(exc),
+            error_kind=type(exc).__name__,
+            crash_report=_save_crash(spec, exc),
+        )
+        _memo[key] = result
+        return result
+
+
+def _save_crash(spec: RunSpec, exc: BaseException) -> Optional[str]:
+    from repro.validate.forensics import save_crash_report
+
+    report = getattr(exc, "report", None)
+    if report is None:
+        report = {"kind": type(exc).__name__, "error": str(exc)}
+    elif hasattr(report, "data"):
+        report.data["spec"] = spec.key()
+    try:
+        return save_crash_report(report, crash_dir(), spec.key())
+    except OSError:
+        return None  # an unwritable crash dir must not mask the failure
+
+
 def run_matrix(n_cores: int, variants: Iterable[Variant],
                workloads: Iterable[str], seed: int = 1,
                jobs: Optional[int] = None,
+               fail_fast: Optional[bool] = None,
                ) -> Dict[Variant, Dict[str, RunResult]]:
     """Sweep variants x workloads; returns results[variant][workload].
 
     With ``jobs > 1`` (or ``REPRO_JOBS`` set) the specs are computed
     across worker processes first; assembly below then hits the memo, so
     the returned results are bit-identical to a serial sweep.
+
+    By default a failing run (deadlock/invariant violation) degrades to
+    a failure :class:`RunResult` and the sweep continues; pass
+    ``fail_fast=True`` (or set ``REPRO_FAILFAST=1``) to abort on the
+    first simulation error instead.
     """
     from repro.harness import parallel
 
+    if fail_fast is None:
+        fail_fast = env_flag("REPRO_FAILFAST")
+    runner = run_experiment if fail_fast else run_experiment_safe
     variants = list(variants)
     workloads = list(workloads)
     specs = [
@@ -241,12 +328,12 @@ def run_matrix(n_cores: int, variants: Iterable[Variant],
         for workload in workloads
     ]
     if parallel.resolve_jobs(jobs) > 1 and len(specs) > 1:
-        parallel.run_specs(specs, jobs=jobs)
+        parallel.run_specs(specs, jobs=jobs, safe=not fail_fast)
     out: Dict[Variant, Dict[str, RunResult]] = {}
     for variant in variants:
         per = {}
         for workload in workloads:
-            per[workload] = run_experiment(
+            per[workload] = runner(
                 RunSpec(n_cores, variant, workload, seed)
             )
         out[variant] = per

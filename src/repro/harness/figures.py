@@ -5,9 +5,28 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.circuits.outcomes import OUTCOME_ORDER
-from repro.harness.experiment import RunSpec, run_experiment
+from repro.harness.experiment import (
+    RunSpec,
+    env_flag,
+    run_experiment,
+    run_experiment_safe,
+)
 from repro.sim.config import Variant
 from repro.sim.stats import mean_and_stderr
+
+
+def _run(spec: RunSpec):
+    """Graceful-degradation runner (``REPRO_FAILFAST=1`` restores raising)."""
+    if env_flag("REPRO_FAILFAST"):
+        return run_experiment(spec)
+    return run_experiment_safe(spec)
+
+
+def _ratio(value: float, reference: float) -> float:
+    """NaN-safe ratio: a failed run contributes NaN instead of crashing."""
+    if not value or not reference:
+        return float("nan")
+    return value / reference
 
 #: Circuit-building configurations of Fig. 6 (both chip sizes).
 FIG6_VARIANTS = [
@@ -77,7 +96,7 @@ def figure6(workloads: List[str], n_cores: int, seed: int = 1
     for variant in FIG6_VARIANTS:
         sums = {o.value: 0.0 for o in OUTCOME_ORDER}
         for workload in workloads:
-            result = run_experiment(RunSpec(n_cores, variant, workload, seed))
+            result = _run(RunSpec(n_cores, variant, workload, seed))
             for key, value in result.outcomes.items():
                 sums[key] += value
         out[variant.value] = {
@@ -93,7 +112,7 @@ def figure7(workloads: List[str], n_cores: int, seed: int = 1
     for variant in FIG7_VARIANTS:
         per_class = {cls: [0.0, 0.0] for cls in ("req", "crep", "norep")}
         for workload in workloads:
-            result = run_experiment(RunSpec(n_cores, variant, workload, seed))
+            result = _run(RunSpec(n_cores, variant, workload, seed))
             for cls in per_class:
                 per_class[cls][0] += result.mean(f"lat.net.{cls}")
                 per_class[cls][1] += result.mean(f"lat.queue.{cls}")
@@ -108,15 +127,15 @@ def figure8(workloads: List[str], n_cores: int, seed: int = 1
             ) -> Dict[str, Tuple[float, float]]:
     """Network energy normalised to baseline: (mean, stderr) per variant."""
     base = {
-        w: run_experiment(RunSpec(n_cores, Variant.BASELINE, w, seed))
+        w: _run(RunSpec(n_cores, Variant.BASELINE, w, seed))
         for w in workloads
     }
     out: Dict[str, Tuple[float, float]] = {"Baseline": (1.0, 0.0)}
     for variant in FIG8_VARIANTS:
         ratios = []
         for workload in workloads:
-            result = run_experiment(RunSpec(n_cores, variant, workload, seed))
-            ratios.append(result.energy_total / base[workload].energy_total)
+            result = _run(RunSpec(n_cores, variant, workload, seed))
+            ratios.append(_ratio(result.energy_total, base[workload].energy_total))
         out[variant.value] = mean_and_stderr(ratios)
     return out
 
@@ -125,15 +144,15 @@ def figure9(workloads: List[str], n_cores: int, seed: int = 1
             ) -> Dict[str, Tuple[float, float]]:
     """Speedup vs. baseline: (mean, stderr) per variant."""
     base = {
-        w: run_experiment(RunSpec(n_cores, Variant.BASELINE, w, seed))
+        w: _run(RunSpec(n_cores, Variant.BASELINE, w, seed))
         for w in workloads
     }
     out: Dict[str, Tuple[float, float]] = {}
     for variant in FIG9_VARIANTS:
         speedups = []
         for workload in workloads:
-            result = run_experiment(RunSpec(n_cores, variant, workload, seed))
-            speedups.append(base[workload].exec_cycles / result.exec_cycles)
+            result = _run(RunSpec(n_cores, variant, workload, seed))
+            speedups.append(_ratio(base[workload].exec_cycles, result.exec_cycles))
         out[variant.value] = mean_and_stderr(speedups)
     return out
 
@@ -144,7 +163,7 @@ def figure10(workloads: List[str], n_cores: int = 64, seed: int = 1,
     """Per-application speedup for timed circuits with slack+delay of 1."""
     out: Dict[str, float] = {}
     for workload in workloads:
-        base = run_experiment(RunSpec(n_cores, Variant.BASELINE, workload, seed))
-        result = run_experiment(RunSpec(n_cores, variant, workload, seed))
-        out[workload] = base.exec_cycles / result.exec_cycles
+        base = _run(RunSpec(n_cores, Variant.BASELINE, workload, seed))
+        result = _run(RunSpec(n_cores, variant, workload, seed))
+        out[workload] = _ratio(base.exec_cycles, result.exec_cycles)
     return out

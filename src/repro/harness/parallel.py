@@ -187,11 +187,21 @@ def _run_one(spec) -> object:
     return run_experiment(spec)
 
 
+def _run_one_safe(spec) -> object:
+    """Pool worker with graceful degradation: a simulation failure comes
+    back as a failure RunResult (plus saved crash report) instead of an
+    exception that would abort the whole sweep."""
+    from repro.harness.experiment import run_experiment_safe
+
+    return run_experiment_safe(spec)
+
+
 def run_specs(
     specs: Iterable,
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     echo: Optional[Callable[[str], None]] = None,
+    safe: bool = False,
 ):
     """Compute every spec across worker processes; seed the local memo.
 
@@ -200,6 +210,10 @@ def run_specs(
     farmed out.  Afterwards ``run_experiment`` on any of these specs is a
     memo hit, so serial assembly code (tables, figures) transparently
     consumes parallel results.
+
+    With ``safe=True`` workers degrade simulation failures to failure
+    RunResults (see :func:`experiment.run_experiment_safe`) instead of
+    aborting the sweep.
     """
     from repro.harness import experiment
 
@@ -216,15 +230,17 @@ def run_specs(
         else:
             pending[key] = spec
 
+    runner = experiment.run_experiment_safe if safe else experiment.run_experiment
     if pending:
         if jobs <= 1 or len(pending) == 1:
             for key, spec in pending.items():
-                results[key] = experiment.run_experiment(spec)
+                results[key] = runner(spec)
         else:
             logger.info("running %d spec(s) across %d worker processes",
                         len(pending), jobs)
-            computed = run_tasks(pending, worker=_run_one, jobs=jobs,
-                                 timeout=timeout, echo=echo)
+            computed = run_tasks(pending,
+                                 worker=_run_one_safe if safe else _run_one,
+                                 jobs=jobs, timeout=timeout, echo=echo)
             for key, result in computed.items():
                 experiment._memo[key] = result
                 results[key] = result

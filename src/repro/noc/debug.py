@@ -24,6 +24,10 @@ def attach_tracer(net: Network,
     ``(cycle, node, out_port, msg kind, msg uid)`` tuples.  Pass an
     explicit callback for custom handling (it receives the raw
     ``(cycle, router, out_port, flit)``).
+
+    Tracers compose: attaching while another tracer is installed chains
+    the new hook after the existing one instead of replacing it, and
+    :func:`detach_tracer` pops only the most recent attachment.
     """
     events: List[TraceEvent] = []
 
@@ -34,13 +38,22 @@ def attach_tracer(net: Network,
 
     hook = callback if callback is not None else default
     for router in net.routers:
-        router.tracer = hook
+        previous = router.tracer
+
+        def chained(cycle, r, out_port, flit, _prev=previous, _hook=hook):
+            if _prev is not None:
+                _prev(cycle, r, out_port, flit)
+            _hook(cycle, r, out_port, flit)
+
+        chained._prev_tracer = previous
+        router.tracer = chained
     return events
 
 
 def detach_tracer(net: Network) -> None:
+    """Detach the most recently attached tracer, restoring its predecessor."""
     for router in net.routers:
-        router.tracer = None
+        router.tracer = getattr(router.tracer, "_prev_tracer", None)
 
 
 def utilization_heatmap(net: Network, width: int = 6) -> str:

@@ -110,6 +110,10 @@ class NetworkInterface:
         """
         self._undo_out.append((cycle + 1, key))
 
+    def rx_partial_flits(self) -> int:
+        """Flits of partially reassembled messages (exact-census probe)."""
+        return sum(self._rx_counts.values())
+
     def pending_work(self) -> int:
         """Messages queued or mid-injection (used for drain detection)."""
         total = len(self.req_queue) + len(self.reply_pending)
@@ -299,6 +303,9 @@ class NetworkInterface:
         if msg.final_dest is not None and msg.final_dest != self.node:
             # Scrounger intermediate hop: re-inject toward the real target.
             self.stats.bump("circuit.scrounger_relays")
+            # These flits left the network without being delivered; the
+            # flit-conservation invariant needs them accounted separately.
+            self.stats.bump("noc.flits_relayed", msg.n_flits)
             msg.src = self.node
             msg.dest = msg.final_dest
             msg.final_dest = None

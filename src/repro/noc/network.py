@@ -117,6 +117,34 @@ class Network:
             total += ni.pending_work()
         return total
 
+    def flit_links(self):
+        """Yield ``(label, FlitLink)`` for every flit channel exactly once.
+
+        Covers router-to-router links, ejection links (a router's LOCAL
+        output) and NI injection links.
+        """
+        for router in self.routers:
+            for port, link in router.out_flit.items():
+                yield f"router{router.node}.out.{port.name}", link
+        for ni in self.interfaces:
+            if ni.to_router is not None:
+                yield f"ni{ni.node}.inject", ni.to_router
+
+    def credit_links(self):
+        """Yield ``(label, CreditLink)`` for every credit channel exactly once.
+
+        A router's ``out_credit`` map covers the upstream credit channels it
+        drives (including the LOCAL one toward its NI); the NI ``credit_out``
+        link (toward its router, used for undo notifications) is the only
+        channel not owned by a router.
+        """
+        for router in self.routers:
+            for port, link in router.out_credit.items():
+                yield f"router{router.node}.credit.{port.name}", link
+        for ni in self.interfaces:
+            if ni.credit_out is not None:
+                yield f"ni{ni.node}.eject_credit", ni.credit_out
+
     def circuit_entries(self) -> int:
         """Raw circuit-table occupancy (may include expired timed entries)."""
         return sum(router.circuit_entries() for router in self.routers)

@@ -9,7 +9,7 @@ tick within a cycle does not change the architecture-visible behaviour.
 
 from __future__ import annotations
 
-from typing import Callable, List, Protocol
+from typing import Callable, List, Optional, Protocol
 
 
 class Clocked(Protocol):
@@ -24,7 +24,23 @@ class SimulationError(RuntimeError):
 
 
 class DeadlockError(SimulationError):
-    """Raised when the system makes no forward progress for too long."""
+    """Raised when the system makes no forward progress for too long.
+
+    ``cycle`` and ``last_progress_cycle`` locate the stall in time;
+    ``report`` is filled in by higher layers (``repro.validate``) with a
+    structured crash report when forensics are available.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        cycle: Optional[int] = None,
+        last_progress_cycle: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.last_progress_cycle = last_progress_cycle
+        self.report = None
 
 
 class Simulator:
@@ -86,7 +102,8 @@ class Simulator:
             if done():
                 return self.cycle
         raise DeadlockError(
-            f"simulation did not complete within {max_cycles} cycles"
+            f"simulation did not complete within {max_cycles} cycles",
+            cycle=self.cycle,
         )
 
 
@@ -95,11 +112,22 @@ class ProgressWatchdog:
 
     ``probe`` returns a monotonically increasing progress measure (for a CMP
     run we use total retired instructions plus delivered messages).
+
+    ``on_deadlock``, when given, is called with the stalled cycle just
+    before the :class:`DeadlockError` is raised and may return a string
+    of extra context (in-flight flits, live circuit entries, ...) that is
+    appended to the error message.
     """
 
-    def __init__(self, probe: Callable[[], int], window: int = 200_000) -> None:
+    def __init__(
+        self,
+        probe: Callable[[], int],
+        window: int = 200_000,
+        on_deadlock: Optional[Callable[[int], Optional[str]]] = None,
+    ) -> None:
         self._probe = probe
         self._window = window
+        self._on_deadlock = on_deadlock
         self._last_value = -1
         self._last_change = 0
 
@@ -109,6 +137,17 @@ class ProgressWatchdog:
             self._last_value = value
             self._last_change = cycle
         elif cycle - self._last_change >= self._window:
+            message = (
+                f"no progress for {self._window} cycles (cycle {cycle}, "
+                f"last progress at cycle {self._last_change}, "
+                f"progress value {value})"
+            )
+            if self._on_deadlock is not None:
+                extra = self._on_deadlock(cycle)
+                if extra:
+                    message = f"{message}; {extra}"
             raise DeadlockError(
-                f"no progress for {self._window} cycles (cycle {cycle})"
+                message,
+                cycle=cycle,
+                last_progress_cycle=self._last_change,
             )

@@ -21,7 +21,7 @@ from repro.noc.flit import Message
 from repro.noc.network import Network
 from repro.noc.topology import memory_controller_nodes
 from repro.sim.config import SystemConfig
-from repro.sim.kernel import ProgressWatchdog, Simulator
+from repro.sim.kernel import ProgressWatchdog, SimulationError, Simulator
 from repro.sim.rng import DeterministicRng
 from repro.sim.stats import Stats
 
@@ -146,6 +146,28 @@ class CmpSystem:
     def run_cycles(self, cycles: int) -> None:
         self.sim.run(cycles)
 
+    def _deadlock_context(self, cycle: int) -> str:
+        """Extra context for DeadlockError messages (watchdog hook)."""
+        return (
+            f"in flight: {self.network.in_flight()}, "
+            f"live circuit entries: "
+            f"{self.network.live_circuit_entries(cycle)}"
+        )
+
+    def _attach_crash_report(self, error: BaseException) -> None:
+        """Attach a forensic crash report to a dying run's exception."""
+        if getattr(error, "report", None) is not None:
+            return
+        try:
+            from repro.validate.forensics import crash_report
+
+            error.report = crash_report(
+                self.network, system=self, error=error,
+                cycle=self.sim.cycle,
+            )
+        except Exception:  # pragma: no cover - diagnosis must not mask
+            pass           # the original failure
+
     def run_instructions(self, per_core: int, max_cycles: int = 50_000_000,
                          watchdog_window: int = 500_000) -> int:
         """Run until every core retires ``per_core`` more instructions.
@@ -155,12 +177,16 @@ class CmpSystem:
         """
         for core in self.cores:
             core.set_target(per_core)
-        watchdog = ProgressWatchdog(self._progress, watchdog_window)
+        watchdog = ProgressWatchdog(self._progress, watchdog_window,
+                                    on_deadlock=self._deadlock_context)
         self.sim.add_watchdog(watchdog)
         try:
             self.sim.run_until(
                 lambda: all(core.done for core in self.cores), max_cycles
             )
+        except SimulationError as error:
+            self._attach_crash_report(error)
+            raise
         finally:
             self.sim._watchdogs.remove(watchdog)
         return max(core.finish_cycle for core in self.cores)
@@ -249,7 +275,11 @@ class CmpSystem:
                 for tile in self.tiles
             )
 
-        return self.sim.run_until(idle, max_cycles, check_interval=16)
+        try:
+            return self.sim.run_until(idle, max_cycles, check_interval=16)
+        except SimulationError as error:
+            self._attach_crash_report(error)
+            raise
 
 
 def build_system(config: SystemConfig,

@@ -1,0 +1,65 @@
+"""Runtime validation: invariant monitor, deadlock forensics, fault injection.
+
+Quick use::
+
+    from repro.validate import InvariantMonitor
+    monitor = InvariantMonitor(system.network, system=system).attach(system.sim)
+
+    from repro.validate import run_campaign
+    outcomes = run_campaign()          # every fault class must be detected
+
+See ``docs/architecture.md`` (section "Validation & fault injection").
+"""
+
+from repro.validate.campaign import (
+    CHECK_VARIANTS,
+    EXPECTED_CHECKER,
+    FAULT_VARIANTS,
+    CleanReport,
+    FaultOutcome,
+    measure_overhead,
+    run_campaign,
+    run_clean,
+    run_clean_sweep,
+    run_fault,
+    run_system_check,
+)
+from repro.validate.faults import FaultInjector, FaultKind
+from repro.validate.forensics import (
+    CrashReport,
+    build_wait_graph,
+    crash_report,
+    find_cycle,
+    save_crash_report,
+)
+from repro.validate.invariants import (
+    ALL_CHECKS,
+    InvariantMonitor,
+    InvariantViolation,
+    flit_census,
+)
+
+__all__ = [
+    "ALL_CHECKS",
+    "CHECK_VARIANTS",
+    "EXPECTED_CHECKER",
+    "FAULT_VARIANTS",
+    "CleanReport",
+    "CrashReport",
+    "FaultInjector",
+    "FaultKind",
+    "FaultOutcome",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "build_wait_graph",
+    "crash_report",
+    "find_cycle",
+    "flit_census",
+    "measure_overhead",
+    "run_campaign",
+    "run_clean",
+    "run_clean_sweep",
+    "run_fault",
+    "run_system_check",
+    "save_crash_report",
+]

@@ -1,0 +1,300 @@
+"""Clean-run validation sweeps and the seeded fault-injection campaign.
+
+Two jobs, both driven by the CLI (``python -m repro.harness check`` /
+``inject``) and by CI:
+
+* :func:`run_clean` / :func:`run_clean_sweep` - run synthetic
+  request-reply traffic under every switching variant with the
+  :class:`~repro.validate.invariants.InvariantMonitor` enabled and
+  assert **zero violations** (no false positives);
+* :func:`run_fault` / :func:`run_campaign` - inject one seeded fault per
+  :class:`~repro.validate.faults.FaultKind` and assert the **expected
+  checker** catches it (no false negatives), producing a crash report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.noc.traffic import RequestReplyTraffic
+from repro.sim.config import SystemConfig, Variant
+from repro.sim.kernel import SimulationError
+from repro.validate.faults import FaultInjector, FaultKind
+from repro.validate.forensics import crash_report, save_crash_report
+from repro.validate.invariants import InvariantMonitor, InvariantViolation
+
+#: Variants exercised by the clean sweep: packet baseline, both circuit
+#: flavours, ACK elimination, timed windows, and the ideal bound.
+CHECK_VARIANTS = (
+    Variant.BASELINE,
+    Variant.FRAGMENTED,
+    Variant.COMPLETE,
+    Variant.COMPLETE_NOACK,
+    Variant.SLACKDELAY1_NOACK,
+    Variant.IDEAL,
+)
+
+#: Which variant each fault class runs under (the one with the state the
+#: fault corrupts).
+FAULT_VARIANTS: Dict[FaultKind, Variant] = {
+    FaultKind.DROP_RESERVATION: Variant.COMPLETE,
+    FaultKind.DUP_RESERVATION: Variant.COMPLETE,
+    FaultKind.CORRUPT_WINDOW: Variant.SLACKDELAY1_NOACK,
+    FaultKind.LEAK_CREDIT: Variant.BASELINE,
+    FaultKind.STUCK_PORT: Variant.BASELINE,
+    FaultKind.DELAY_LINK: Variant.BASELINE,
+    FaultKind.DROP_FLIT: Variant.BASELINE,
+}
+
+#: The checker that must catch each fault class.
+EXPECTED_CHECKER: Dict[FaultKind, str] = {
+    FaultKind.DROP_RESERVATION: "circuit_lifecycle",
+    FaultKind.DUP_RESERVATION: "circuit_lifecycle",
+    FaultKind.CORRUPT_WINDOW: "circuit_lifecycle",
+    FaultKind.LEAK_CREDIT: "credit_conservation",
+    FaultKind.STUCK_PORT: "forward_progress",
+    FaultKind.DELAY_LINK: "link_sanity",
+    FaultKind.DROP_FLIT: "flit_conservation",
+}
+
+#: Check cadence per fault: reservation/window state is transient (an
+#: origin lives roughly one turnaround), so those run near-every-cycle.
+FAULT_INTERVALS: Dict[FaultKind, int] = {
+    FaultKind.CORRUPT_WINDOW: 1,
+    FaultKind.DROP_RESERVATION: 5,
+    FaultKind.DUP_RESERVATION: 5,
+}
+
+#: Localised-stall threshold per fault (only STUCK_PORT needs a tight
+#: one; everywhere else it stays loose to guarantee zero false
+#: positives before injection).
+FAULT_STALL_THRESHOLDS: Dict[FaultKind, int] = {
+    FaultKind.STUCK_PORT: 600,
+}
+
+
+@dataclass
+class CleanReport:
+    """One monitored clean run: zero violations expected."""
+
+    variant: str
+    cycles: int
+    checks_run: int
+    violations: int
+    requests_sent: int
+    replies_received: int
+    wall_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return self.violations == 0
+
+
+@dataclass
+class FaultOutcome:
+    """One fault-injection run: detection by the right checker expected."""
+
+    fault: str
+    variant: str
+    expected_checker: str
+    injected: Optional[dict]
+    injected_cycle: Optional[int]
+    detected: bool
+    checker: Optional[str]
+    detect_cycle: Optional[int]
+    error: Optional[str]
+    report_path: Optional[str] = None
+    false_positive: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Detected after injection, by the checker that owns the law."""
+        return (
+            self.detected
+            and not self.false_positive
+            and self.checker == self.expected_checker
+        )
+
+
+def run_clean(
+    variant: Variant,
+    cycles: int = 5000,
+    rate: float = 12.0,
+    seed: int = 3,
+    interval: int = 200,
+    monitor: Optional[InvariantMonitor] = None,
+) -> CleanReport:
+    """Monitored synthetic-traffic run; raises on any violation."""
+    config = SystemConfig(n_cores=16, seed=seed).with_variant(variant)
+    traffic = RequestReplyTraffic(config, rate, seed=seed)
+    if monitor is None:
+        monitor = InvariantMonitor(traffic.net, interval=interval)
+    started = time.perf_counter()
+    for _ in range(cycles):
+        traffic.run(1)
+        monitor(traffic.cycle)
+    traffic.drain()
+    monitor.check_now(traffic.cycle)
+    return CleanReport(
+        variant=variant.value,
+        cycles=traffic.cycle,
+        checks_run=monitor.checks_run,
+        violations=monitor.violations,
+        requests_sent=traffic.requests_sent,
+        replies_received=traffic.replies_received,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def run_clean_sweep(
+    variants: Iterable[Variant] = CHECK_VARIANTS,
+    cycles: int = 5000,
+    rate: float = 12.0,
+    seed: int = 3,
+    interval: int = 200,
+) -> List[CleanReport]:
+    return [
+        run_clean(variant, cycles=cycles, rate=rate, seed=seed,
+                  interval=interval)
+        for variant in variants
+    ]
+
+
+def measure_overhead(
+    variant: Variant = Variant.COMPLETE_NOACK,
+    cycles: int = 5000,
+    rate: float = 12.0,
+    seed: int = 3,
+    interval: int = 2000,
+) -> float:
+    """Checked/unchecked wall-time ratio at the production cadence."""
+
+    def _run(check: bool) -> float:
+        config = SystemConfig(n_cores=16, seed=seed).with_variant(variant)
+        traffic = RequestReplyTraffic(config, rate, seed=seed)
+        monitor = (
+            InvariantMonitor(traffic.net, interval=interval, forensics=False)
+            if check else None
+        )
+        started = time.perf_counter()
+        for _ in range(cycles):
+            traffic.run(1)
+            if monitor is not None:
+                monitor(traffic.cycle)
+        traffic.drain()
+        return time.perf_counter() - started
+
+    unchecked = _run(False)
+    checked = _run(True)
+    if unchecked <= 0:
+        return 1.0
+    return checked / unchecked
+
+
+def run_fault(
+    kind: FaultKind,
+    seed: int = 7,
+    cycles: int = 4000,
+    rate: float = 15.0,
+    inject_at: int = 600,
+    crash_dir: Optional[str] = None,
+) -> FaultOutcome:
+    """Inject one fault of ``kind`` and record how it was caught."""
+    variant = FAULT_VARIANTS[kind]
+    interval = FAULT_INTERVALS.get(kind, 25)
+    stall = FAULT_STALL_THRESHOLDS.get(kind, 25_000)
+    # Reservation faults need origins that outlive the check interval,
+    # so those runs use a long request->reply turnaround.
+    turnaround = 150 if kind in (
+        FaultKind.DROP_RESERVATION, FaultKind.DUP_RESERVATION
+    ) else 7
+    config = SystemConfig(n_cores=16, seed=seed).with_variant(variant)
+    traffic = RequestReplyTraffic(config, rate, turnaround=turnaround,
+                                  seed=seed)
+    monitor = InvariantMonitor(traffic.net, interval=interval,
+                               stall_threshold=stall)
+    injector = FaultInjector(traffic.net, kind, seed=seed,
+                             at_cycle=inject_at)
+    error: Optional[BaseException] = None
+    checker: Optional[str] = None
+    detect_cycle: Optional[int] = None
+    try:
+        for _ in range(cycles):
+            traffic.run(1)
+            injector.tick(traffic.cycle)
+            monitor(traffic.cycle)
+        monitor.check_now(traffic.cycle)
+    except InvariantViolation as exc:
+        error = exc
+        checker = exc.check
+        detect_cycle = exc.cycle
+    except (SimulationError, RuntimeError) as exc:
+        # A fault may crash the simulation machinery itself before a
+        # check fires; that is detection, but by the wrong layer.
+        error = exc
+        checker = "simulation_error"
+        detect_cycle = traffic.cycle
+
+    outcome = FaultOutcome(
+        fault=kind.value,
+        variant=variant.value,
+        expected_checker=EXPECTED_CHECKER[kind],
+        injected=injector.description,
+        injected_cycle=injector.applied_cycle,
+        detected=error is not None,
+        checker=checker,
+        detect_cycle=detect_cycle,
+        error=str(error) if error is not None else None,
+        false_positive=error is not None and not injector.applied,
+    )
+    if error is not None and crash_dir:
+        report = getattr(error, "report", None)
+        if report is None:
+            report = crash_report(traffic.net, error=error,
+                                  cycle=traffic.cycle)
+        report.data["fault"] = injector.description
+        outcome.report_path = save_crash_report(
+            report, crash_dir, f"fault-{kind.value}-seed{seed}"
+        )
+    return outcome
+
+
+def run_campaign(
+    kinds: Optional[Iterable[FaultKind]] = None,
+    seed: int = 7,
+    cycles: int = 4000,
+    crash_dir: Optional[str] = None,
+) -> List[FaultOutcome]:
+    """Run one seeded fault per kind (default: all of them)."""
+    return [
+        run_fault(kind, seed=seed, cycles=cycles, crash_dir=crash_dir)
+        for kind in (kinds if kinds is not None else list(FaultKind))
+    ]
+
+
+def run_system_check(
+    variant: Variant = Variant.COMPLETE_NOACK,
+    workload: str = "canneal",
+    n_cores: int = 16,
+    instructions: int = 300,
+    interval: int = 500,
+    seed: int = 1,
+) -> InvariantMonitor:
+    """Full-stack monitored run (cores + coherence + NoC): the coherence
+    checks only make sense here.  Raises on any violation; returns the
+    monitor for introspection."""
+    from repro.cpu.workloads import workload_by_name
+    from repro.system import build_system
+
+    config = SystemConfig(n_cores=n_cores, seed=seed).with_variant(variant)
+    system = build_system(config, workload_by_name(workload))
+    monitor = InvariantMonitor(system.network, system=system,
+                               interval=interval)
+    monitor.attach(system.sim)
+    system.warmup(max(instructions // 3, 50))
+    system.run_instructions(instructions)
+    system.drain()
+    monitor.check_now(system.sim.cycle)
+    return monitor

@@ -1,0 +1,216 @@
+"""Deterministic fault injection for the NoC + circuit machinery.
+
+Each :class:`FaultKind` breaks exactly one conservation law, so the
+campaign in :mod:`repro.validate.campaign` can prove that every checker
+of :class:`~repro.validate.invariants.InvariantMonitor` detects its
+fault class (and, via clean runs, that none of them false-positives).
+
+Injection is seeded through :class:`~repro.sim.rng.DeterministicRng`
+(stream ``fault/<kind>``), so a given ``(kind, seed)`` always corrupts
+the same resource at the same cycle - a failing campaign run is exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Optional
+
+from repro.circuits.table import CircuitEntry
+from repro.noc.topology import Port
+from repro.sim.rng import DeterministicRng
+
+
+class FaultKind(enum.Enum):
+    DROP_RESERVATION = "drop_reservation"
+    DUP_RESERVATION = "dup_reservation"
+    LEAK_CREDIT = "leak_credit"
+    CORRUPT_WINDOW = "corrupt_window"
+    STUCK_PORT = "stuck_port"
+    DELAY_LINK = "delay_link"
+    DROP_FLIT = "drop_flit"
+
+
+#: How far a delayed link pushes its queued flits (cycles).
+LINK_DELAY = 1_000_000
+
+
+class FaultInjector:
+    """Applies one fault of ``kind`` to ``net`` at/after ``at_cycle``.
+
+    Call :meth:`tick` once per cycle; the injector retries every cycle
+    from ``at_cycle`` until a suitable target exists (e.g. a live
+    reservation to drop), then records what it broke in ``description``
+    and goes quiet.
+    """
+
+    def __init__(self, net, kind: FaultKind, seed: int = 1,
+                 at_cycle: int = 200) -> None:
+        self.net = net
+        self.kind = kind
+        self.at_cycle = at_cycle
+        self.rng = DeterministicRng(seed).stream(f"fault/{kind.value}")
+        self.applied = False
+        self.applied_cycle: Optional[int] = None
+        self.description: Optional[dict] = None
+
+    def tick(self, cycle: int) -> bool:
+        """Try to apply the fault; True the cycle it lands."""
+        if self.applied or cycle < self.at_cycle:
+            return False
+        description = getattr(self, f"_apply_{self.kind.value}")(cycle)
+        if description is None:
+            return False
+        description["fault"] = self.kind.value
+        description["cycle"] = cycle
+        self.description = description
+        self.applied = True
+        self.applied_cycle = cycle
+        return True
+
+    # -- helpers -------------------------------------------------------
+    def _newest_reserved_hop(self):
+        """(origin, hop-node, hop-port, key) of the youngest live origin
+        whose reservation is still present in a router table."""
+        best = None
+        for ni in self.net.interfaces:
+            for key, origin in ni.origin_table.items():
+                walk = getattr(origin, "walk", None)
+                if walk is None:
+                    continue
+                for hop in walk.hops:
+                    if not hop.reserved:
+                        continue
+                    unit = self.net.routers[hop.node].inputs[hop.in_port]
+                    table = unit.circuit_table
+                    if table is None or key not in table.entries:
+                        continue
+                    candidate = (origin.created_cycle, hop.node,
+                                 hop.in_port, key)
+                    if best is None or candidate[0] > best[0]:
+                        best = candidate
+        return best
+
+    # -- fault classes -------------------------------------------------
+    def _apply_drop_reservation(self, cycle: int) -> Optional[dict]:
+        best = self._newest_reserved_hop()
+        if best is None:
+            return None
+        _created, node, port, key = best
+        self.net.routers[node].inputs[port].circuit_table.remove(key)
+        return {"node": node, "port": port.name, "key": list(key)}
+
+    def _apply_dup_reservation(self, cycle: int) -> Optional[dict]:
+        best = self._newest_reserved_hop()
+        if best is None:
+            return None
+        _created, node, port, key = best
+        router = self.net.routers[node]
+        entry = router.inputs[port].circuit_table.entries[key]
+        others = [
+            p for p in router.ports
+            if p is not port and router.inputs[p].circuit_table is not None
+        ]
+        if not others:
+            return None
+        target = others[self.rng.randrange(len(others))]
+        clone = CircuitEntry(
+            key=entry.key, in_port=target, out_port=entry.out_port,
+            built_cycle=cycle, window_start=entry.window_start,
+            window_end=entry.window_end, vc_index=entry.vc_index,
+            fwd_reserved=entry.fwd_reserved, fwd_vc=entry.fwd_vc,
+        )
+        router.inputs[target].circuit_table.entries[key] = clone
+        return {"node": node, "port": port.name, "dup_port": target.name,
+                "key": list(key)}
+
+    def _apply_leak_credit(self, cycle: int) -> Optional[dict]:
+        bufferless = self.net.policy.bufferless_vcs()
+        candidates = []
+        for router in self.net.routers:
+            for port in router.ports:
+                if port is Port.LOCAL or port not in router.out_flit:
+                    continue
+                for vn_row in router.outputs[port].vcs:
+                    for out_vc in vn_row:
+                        if (out_vc.vn, out_vc.index) in bufferless:
+                            continue
+                        if out_vc.credits > 0:
+                            candidates.append((router, port, out_vc))
+        if not candidates:
+            return None
+        router, port, out_vc = candidates[self.rng.randrange(len(candidates))]
+        out_vc.credits -= 1
+        return {"node": router.node, "port": port.name,
+                "vn": out_vc.vn, "vc": out_vc.index}
+
+    def _apply_corrupt_window(self, cycle: int) -> Optional[dict]:
+        candidates = []
+        for router in self.net.routers:
+            for port, unit in router.inputs.items():
+                table = unit.circuit_table
+                if table is None:
+                    continue
+                for entry in table.entries.values():
+                    if entry.timed and entry.live(cycle):
+                        candidates.append((router.node, port, entry))
+        if not candidates:
+            return None
+        node, port, entry = candidates[self.rng.randrange(len(candidates))]
+        # Stretch the window far into the future, then invert it: the
+        # entry stays live (won't self-expire before a check) yet is
+        # structurally impossible.
+        entry.window_end = entry.window_end + 50_000
+        entry.window_start = entry.window_end + 97
+        return {"node": node, "port": port.name, "key": list(entry.key),
+                "window": [entry.window_start, entry.window_end]}
+
+    def _apply_stuck_port(self, cycle: int) -> Optional[dict]:
+        # A central router sees traffic from every quadrant, so a stalled
+        # head flit is guaranteed under any sustained workload.
+        mesh = self.net.mesh
+        node = mesh.node_at(mesh.side // 2, mesh.side // 2)
+        router = self.net.routers[node]
+        ports = [p for p in router.ports
+                 if p is not Port.LOCAL and p in router.out_flit]
+        if not ports:
+            return None
+        stuck = ports[self.rng.randrange(len(ports))]
+        original = router.claim_path
+
+        def stuck_claim(in_port, out_port, _orig=original, _stuck=stuck):
+            if out_port is _stuck:
+                return False
+            return _orig(in_port, out_port)
+
+        router.claim_path = stuck_claim
+        return {"node": node, "port": stuck.name}
+
+    def _apply_delay_link(self, cycle: int) -> Optional[dict]:
+        loaded = [(label, link) for label, link in self.net.flit_links()
+                  if link._queue]
+        if not loaded:
+            return None
+        label, link = loaded[self.rng.randrange(len(loaded))]
+        link._queue = deque(
+            (due + LINK_DELAY, flit) for due, flit in link._queue
+        )
+        return {"link": label, "delay": LINK_DELAY,
+                "flits": len(link._queue)}
+
+    def _apply_drop_flit(self, cycle: int) -> Optional[dict]:
+        loaded = [(label, link) for label, link in self.net.flit_links()
+                  if link._queue]
+        if not loaded:
+            return None
+        label, link = loaded[self.rng.randrange(len(loaded))]
+        entries = list(link._queue)
+        index = self.rng.randrange(len(entries))
+        _due, flit = entries.pop(index)
+        link._queue = deque(entries)
+        if link.watcher is not None:
+            # keep the receiver's idle-skip bookkeeping consistent
+            link.watcher.incoming -= 1
+        return {"link": label, "kind": flit.msg.kind, "uid": flit.msg.uid,
+                "flit_index": flit.index}

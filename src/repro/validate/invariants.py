@@ -1,0 +1,604 @@
+"""Runtime invariant monitor for the NoC + coherence stack.
+
+The :class:`InvariantMonitor` registers as a :class:`~repro.sim.kernel.Simulator`
+watchdog (or is called manually once per cycle) and every ``interval``
+cycles re-derives the system's conservation laws from first principles:
+
+``flit_conservation``
+    Every flit ever injected is either delivered, relayed by a scrounger
+    intermediate hop, or still somewhere in the network (VC buffers, link
+    pipelines, ideal-mode wait queues, partially reassembled at an NI).
+
+``credit_conservation``
+    For every flow-controlled (vn, vc) on every link edge, the upstream
+    credit counter plus in-flight flits, in-flight credits, downstream
+    buffer occupancy and switch-allocated-but-not-yet-traversed grants
+    must equal the buffer depth.
+
+``link_sanity``
+    No queued flit/credit is scheduled further in the future than the
+    link latency allows.
+
+``circuit_lifecycle``
+    Circuit-table entries are reachable (their key is still referenced by
+    an origin, an in-flight message or a pending undo), origins' reserved
+    hops have matching entries, windows are well-formed, and
+    guaranteed-complete circuits never share an output port.
+
+``forward_progress``
+    No input-VC head flit sits unserviced longer than ``stall_threshold``
+    cycles (a localised deadlock detector - the global
+    :class:`~repro.sim.kernel.ProgressWatchdog` only sees chip-wide stalls).
+
+``coherence``
+    (Only when constructed with a :class:`~repro.system.CmpSystem`.)
+    At most one L1 holds a line in E/M, every in-flight GETS/GETX has a
+    matching live L1 MSHR, and L2 directory transaction/line/queue state
+    is mutually consistent.
+
+All checks are read-only: a monitored run makes exactly the same
+architectural decisions as an unmonitored one, so cached
+:class:`~repro.harness.experiment.RunResult` values stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.noc.topology import Port, opposite
+from repro.sim.kernel import SimulationError
+
+#: Check families in evaluation order.  Order matters for fault
+#: attribution: the cheapest, most local law that a fault breaks should
+#: fire before its knock-on effects trip a broader one.
+ALL_CHECKS = (
+    "link_sanity",
+    "flit_conservation",
+    "credit_conservation",
+    "circuit_lifecycle",
+    "coherence",
+    "forward_progress",
+)
+
+
+class InvariantViolation(SimulationError):
+    """A conservation law failed.
+
+    ``check`` names the family (one of :data:`ALL_CHECKS`), ``location``
+    pinpoints the router/port/VC/line, ``details`` carries the raw
+    numbers, and ``report`` (filled in when forensics are enabled) is the
+    structured crash report.
+    """
+
+    def __init__(
+        self,
+        check: str,
+        message: str,
+        cycle: Optional[int] = None,
+        location: Optional[str] = None,
+        details: Optional[dict] = None,
+    ) -> None:
+        where = f" at {location}" if location else ""
+        super().__init__(f"[{check}]{where} (cycle {cycle}): {message}")
+        self.check = check
+        self.cycle = cycle
+        self.location = location
+        self.details = details or {}
+        self.report = None
+
+
+# ----------------------------------------------------------------------
+# Census helpers (module level so forensics can reuse them).
+# ----------------------------------------------------------------------
+
+def flit_census(net) -> int:
+    """Exact count of flits currently inside the network.
+
+    Unlike :meth:`Network.in_flight` (a drain detector that may count a
+    switch-allocated flit twice), this counts every flit exactly once:
+    input-VC buffers + ideal-mode wait queues + link pipelines + flits of
+    partially reassembled messages at the NIs.
+    """
+    total = 0
+    for router in net.routers:
+        total += router.buffered_flits()
+        for unit in router.inputs.values():
+            total += len(unit.wait_queue)
+    for _label, link in net.flit_links():
+        total += len(link._queue)
+    for ni in net.interfaces:
+        total += ni.rx_partial_flits()
+    return total
+
+
+def iter_network_messages(net) -> Iterable:
+    """Yield every message currently represented inside the NoC layer."""
+    seen = set()
+
+    def _once(msg):
+        if msg is not None and id(msg) not in seen:
+            seen.add(id(msg))
+            yield msg
+
+    for _label, link in net.flit_links():
+        for _due, flit in link._queue:
+            for msg in _once(flit.msg):
+                yield msg
+    for router in net.routers:
+        for unit in router.inputs.values():
+            for vn_row in unit.vcs:
+                for vc in vn_row:
+                    for flit, _arrival, _credit_vc in vc.buffer:
+                        for msg in _once(flit.msg):
+                            yield msg
+            for waiting in unit.wait_queue:
+                flit = waiting[0] if isinstance(waiting, tuple) else waiting
+                msg = getattr(flit, "msg", None)
+                for m in _once(msg):
+                    yield m
+    for ni in net.interfaces:
+        for queue in (ni.req_queue, ni.reply_pending, ni.reply_queue):
+            for msg in queue:
+                for m in _once(msg):
+                    yield m
+        for _release, _seq, msg in ni.held:
+            for m in _once(msg):
+                yield m
+        if ni.active_circuit is not None:
+            for m in _once(ni.active_circuit.msg):
+                yield m
+        for act in ni.active_packet.values():
+            if act is not None:
+                for m in _once(act.msg):
+                    yield m
+
+
+def accounted_circuit_keys(net) -> Set:
+    """Keys a circuit-table entry may legitimately be waiting on."""
+    keys = set()
+    for msg in iter_network_messages(net):
+        if getattr(msg, "circuit_key", None) is not None:
+            keys.add(msg.circuit_key)
+        if getattr(msg, "ride_key", None) is not None:
+            keys.add(msg.ride_key)
+    for ni in net.interfaces:
+        keys.update(ni.origin_table.keys())
+        for _due, key in ni._undo_out:
+            keys.add(key)
+    for _label, link in net.credit_links():
+        for _due, credit in link._queue:
+            if credit.undo_key is not None:
+                keys.add(credit.undo_key)
+    return keys
+
+
+class InvariantMonitor:
+    """Watchdog-compatible invariant checker (see module docstring).
+
+    Parameters
+    ----------
+    net:
+        The :class:`~repro.noc.network.Network` to audit.
+    system:
+        Optional :class:`~repro.system.CmpSystem`; enables the coherence
+        checks.
+    interval:
+        Check every ``interval`` cycles (the monitor is a no-op on other
+        cycles, so it can be called unconditionally).
+    checks:
+        Subset of :data:`ALL_CHECKS` to run (default: all applicable).
+    stall_threshold:
+        Head-of-line age, in cycles, past which ``forward_progress``
+        declares a blocked VC dead.
+    forensics:
+        Attach a structured crash report to raised violations.
+    """
+
+    def __init__(
+        self,
+        net,
+        system=None,
+        interval: int = 1000,
+        checks: Optional[Iterable[str]] = None,
+        stall_threshold: int = 25_000,
+        forensics: bool = True,
+    ) -> None:
+        if interval < 1:
+            raise ValueError("interval must be positive")
+        self.net = net
+        self.system = system
+        self.interval = interval
+        self.stall_threshold = stall_threshold
+        self.forensics = forensics
+        self.checks = tuple(checks) if checks is not None else ALL_CHECKS
+        unknown = set(self.checks) - set(ALL_CHECKS)
+        if unknown:
+            raise ValueError(f"unknown invariant checks: {sorted(unknown)}")
+        self.checks_run = 0
+        self.violations = 0
+        policy = net.policy
+        self._policy_name = getattr(policy, "name", "baseline")
+        self._circuit_credits = bool(getattr(policy, "circuit_credits", False))
+        self._bufferless = set(policy.bufferless_vcs())
+
+    # -- wiring --------------------------------------------------------
+    def attach(self, sim) -> "InvariantMonitor":
+        """Register with a :class:`Simulator` as a per-cycle watchdog."""
+        sim.add_watchdog(self)
+        return self
+
+    def __call__(self, cycle: int) -> None:
+        if cycle % self.interval:
+            return
+        self.check_now(cycle)
+
+    def check_now(self, cycle: int) -> None:
+        """Run every enabled check immediately (raises on violation)."""
+        self.checks_run += 1
+        for check in self.checks:
+            if check == "coherence" and self.system is None:
+                continue
+            getattr(self, f"check_{check}")(cycle)
+
+    # -- violation plumbing --------------------------------------------
+    def _fail(
+        self,
+        check: str,
+        cycle: int,
+        location: Optional[str],
+        message: str,
+        details: Optional[dict] = None,
+    ) -> InvariantViolation:
+        self.violations += 1
+        violation = InvariantViolation(
+            check, message, cycle=cycle, location=location, details=details
+        )
+        if self.forensics:
+            from repro.validate.forensics import crash_report
+
+            violation.report = crash_report(
+                self.net, system=self.system, error=violation, cycle=cycle
+            )
+        return violation
+
+    # -- check: link sanity --------------------------------------------
+    def check_link_sanity(self, cycle: int) -> None:
+        for label, link in self.net.flit_links():
+            horizon = cycle + link.latency + 1
+            for due, flit in link._queue:
+                if due > horizon:
+                    raise self._fail(
+                        "link_sanity", cycle, label,
+                        f"flit {flit!r} due at cycle {due}, beyond the "
+                        f"link's horizon {horizon}",
+                        {"due": due, "horizon": horizon},
+                    )
+        for label, link in self.net.credit_links():
+            horizon = cycle + link.latency + 1
+            for due, _credit in link._queue:
+                if due > horizon:
+                    raise self._fail(
+                        "link_sanity", cycle, label,
+                        f"credit due at cycle {due}, beyond the link's "
+                        f"horizon {horizon}",
+                        {"due": due, "horizon": horizon},
+                    )
+
+    # -- check: flit conservation --------------------------------------
+    def check_flit_conservation(self, cycle: int) -> None:
+        stats = self.net.stats
+        injected = stats.counter("noc.flits_injected")
+        delivered = stats.counter("noc.flits_delivered")
+        relayed = stats.counter("noc.flits_relayed")
+        census = flit_census(self.net)
+        if injected != delivered + relayed + census:
+            raise self._fail(
+                "flit_conservation", cycle, None,
+                f"injected {injected} flits but delivered {delivered} + "
+                f"relayed {relayed} + in-network {census} = "
+                f"{delivered + relayed + census}",
+                {
+                    "injected": injected,
+                    "delivered": delivered,
+                    "relayed": relayed,
+                    "in_network": census,
+                },
+            )
+
+    # -- check: credit conservation ------------------------------------
+    def check_credit_conservation(self, cycle: int) -> None:
+        net = self.net
+        for router in net.routers:
+            granted: Dict[Tuple[Port, int, int], int] = {}
+            for _st_cycle, in_port, vn, vc_index in router._st_pending:
+                vc = router.inputs[in_port].vcs[vn][vc_index]
+                if vc.route is None or vc.route is Port.LOCAL:
+                    continue
+                if vc.out_vc is None:
+                    continue
+                key = (vc.route, vn, vc.out_vc)
+                granted[key] = granted.get(key, 0) + 1
+            for port in router.ports:
+                if port is Port.LOCAL:
+                    continue
+                down = router.out_flit.get(port)
+                up = router.in_credit.get(port)
+                if down is None or up is None:
+                    continue
+                neighbor = net.routers[net.mesh.neighbor(router.node, port)]
+                in_unit = neighbor.inputs[opposite(port)]
+                out_unit = router.outputs[port]
+                edge_granted = {
+                    (vn, vc): count
+                    for (p, vn, vc), count in granted.items()
+                    if p is port
+                }
+                self._check_edge(
+                    cycle,
+                    f"router {router.node} {port.name} -> "
+                    f"router {neighbor.node}",
+                    lambda vn, vc, _u=out_unit: _u.vcs[vn][vc].credits,
+                    down, up, in_unit, edge_granted,
+                )
+        for ni in net.interfaces:
+            if ni.to_router is None or ni.credit_in is None:
+                continue
+            in_unit = net.routers[ni.node].inputs[Port.LOCAL]
+            self._check_edge(
+                cycle,
+                f"ni {ni.node} -> router {ni.node} LOCAL",
+                lambda vn, vc, _ni=ni: _ni.credits[vn][vc],
+                ni.to_router, ni.credit_in, in_unit, {},
+            )
+
+    def _check_edge(
+        self, cycle, label, upstream_credits, down, up, in_unit, granted
+    ) -> None:
+        link_counts: Dict[Tuple[int, int], int] = {}
+        for _due, flit in down._queue:
+            if flit.on_circuit and not self._circuit_credits:
+                continue  # complete/ideal circuit flits bypass flow control
+            key = (flit.msg.vn, flit.dst_vc)
+            link_counts[key] = link_counts.get(key, 0) + 1
+        credit_counts: Dict[Tuple[int, int], int] = {}
+        for _due, credit in up._queue:
+            if credit.is_buffer_credit:
+                key = (credit.vn, credit.vc)
+                credit_counts[key] = credit_counts.get(key, 0) + 1
+        occupancy: Dict[Tuple[int, int], int] = {}
+        for vn_row in in_unit.vcs:
+            for vc in vn_row:
+                for _flit, _arrival, credit_vc in vc.buffer:
+                    key = (vc.vn, credit_vc)
+                    occupancy[key] = occupancy.get(key, 0) + 1
+        for vn, vn_row in enumerate(in_unit.vcs):
+            for index, in_vc in enumerate(vn_row):
+                if in_vc.depth == 0 or (vn, index) in self._bufferless:
+                    continue
+                key = (vn, index)
+                parts = {
+                    "upstream_credits": upstream_credits(vn, index),
+                    "flits_on_link": link_counts.get(key, 0),
+                    "credits_on_link": credit_counts.get(key, 0),
+                    "buffered_downstream": occupancy.get(key, 0),
+                    "granted_awaiting_st": granted.get(key, 0),
+                }
+                total = sum(parts.values())
+                if total != in_vc.depth:
+                    raise self._fail(
+                        "credit_conservation", cycle,
+                        f"{label} vn{vn} vc{index}",
+                        f"credit books sum to {total}, expected the buffer "
+                        f"depth {in_vc.depth}: {parts}",
+                        dict(parts, depth=in_vc.depth),
+                    )
+
+    # -- check: circuit lifecycle --------------------------------------
+    def check_circuit_lifecycle(self, cycle: int) -> None:
+        if self._policy_name not in ("complete", "fragmented"):
+            return
+        net = self.net
+        accounted = accounted_circuit_keys(net)
+        complete = self._policy_name == "complete"
+        # Map each origin to the (node, in_port) positions it reserved.
+        origin_hops: Dict[object, Dict[Tuple[int, Port], object]] = {}
+        for ni in net.interfaces:
+            for key, origin in ni.origin_table.items():
+                walk = getattr(origin, "walk", None)
+                if walk is None:
+                    continue
+                if complete and not walk.fully_reserved:
+                    # A failed complete walk tears its hops down via undo;
+                    # entries may legitimately be mid-removal.
+                    continue
+                hops = {
+                    (hop.node, hop.in_port): hop
+                    for hop in walk.hops
+                    if hop.reserved
+                }
+                origin_hops[key] = hops
+                for (node, in_port), hop in hops.items():
+                    if hop.window_end is not None and hop.window_end < cycle:
+                        continue  # expired windows self-clean lazily
+                    table = net.routers[node].inputs[in_port].circuit_table
+                    entry = None if table is None else table.entries.get(key)
+                    if entry is None:
+                        raise self._fail(
+                            "circuit_lifecycle", cycle,
+                            f"router {node} {in_port.name}",
+                            f"origin at node {ni.node} holds a reserved hop "
+                            f"for key {key} but the router has no matching "
+                            f"entry (dangling reservation)",
+                            {"key": list(key), "kind": "dangling"},
+                        )
+                    if (entry.window_start, entry.window_end) != (
+                        hop.window_start, hop.window_end
+                    ):
+                        raise self._fail(
+                            "circuit_lifecycle", cycle,
+                            f"router {node} {in_port.name}",
+                            f"entry window "
+                            f"[{entry.window_start}, {entry.window_end}] "
+                            f"disagrees with the origin walk's "
+                            f"[{hop.window_start}, {hop.window_end}] "
+                            f"for key {key}",
+                            {"key": list(key), "kind": "window_mismatch"},
+                        )
+        for router in net.routers:
+            sharing: List[Tuple[Port, object]] = []
+            for port, unit in router.inputs.items():
+                table = unit.circuit_table
+                if table is None:
+                    continue
+                if len(table.entries) > table.capacity:
+                    raise self._fail(
+                        "circuit_lifecycle", cycle,
+                        f"router {router.node} {port.name}",
+                        f"{len(table.entries)} entries exceed the table "
+                        f"capacity {table.capacity}",
+                        {"kind": "capacity"},
+                    )
+                for key, entry in table.entries.items():
+                    if entry.timed:
+                        if entry.window_start > entry.window_end:
+                            raise self._fail(
+                                "circuit_lifecycle", cycle,
+                                f"router {router.node} {port.name}",
+                                f"entry for key {key} has an inverted "
+                                f"window [{entry.window_start}, "
+                                f"{entry.window_end}]",
+                                {"key": list(key), "kind": "window_inverted"},
+                            )
+                        if complete and entry.live(cycle):
+                            sharing.append((port, entry))
+                        continue
+                    if key not in accounted:
+                        raise self._fail(
+                            "circuit_lifecycle", cycle,
+                            f"router {router.node} {port.name}",
+                            f"entry for key {key} is orphaned: no origin, "
+                            f"in-flight message or pending undo references "
+                            f"it",
+                            {"key": list(key), "kind": "orphan"},
+                        )
+                    hops = origin_hops.get(key)
+                    if hops is not None and (router.node, port) not in hops:
+                        raise self._fail(
+                            "circuit_lifecycle", cycle,
+                            f"router {router.node} {port.name}",
+                            f"entry for key {key} sits at a position its "
+                            f"origin walk never reserved",
+                            {"key": list(key), "kind": "misplaced"},
+                        )
+                    if complete:
+                        sharing.append((port, entry))
+            # Guaranteed-complete circuits must own their output port:
+            # mirror of CompletePolicy._no_conflict.
+            for i, (port_a, entry_a) in enumerate(sharing):
+                for port_b, entry_b in sharing[i + 1:]:
+                    if port_a is port_b:
+                        continue
+                    if entry_a.out_port is not entry_b.out_port:
+                        continue
+                    if entry_a.timed and entry_b.timed:
+                        if not entry_a.overlaps(
+                            entry_b.window_start, entry_b.window_end
+                        ):
+                            continue
+                        kind = "window_overlap"
+                    else:
+                        kind = "output_conflict"
+                    raise self._fail(
+                        "circuit_lifecycle", cycle,
+                        f"router {router.node}",
+                        f"complete circuits {entry_a.key} "
+                        f"({port_a.name}) and {entry_b.key} "
+                        f"({port_b.name}) share output "
+                        f"{entry_a.out_port.name} ({kind})",
+                        {
+                            "kind": kind,
+                            "keys": [list(entry_a.key), list(entry_b.key)],
+                        },
+                    )
+
+    # -- check: coherence ----------------------------------------------
+    def check_coherence(self, cycle: int) -> None:
+        system = self.system
+        if system is None:
+            return
+        from repro.coherence.l1 import L1State
+        from repro.coherence.messages import Kind
+
+        exclusive = (L1State.EXCLUSIVE, L1State.MODIFIED)
+        owners: Dict[int, int] = {}
+        for tile in system.tiles:
+            for addr, line in tile.l1.array.items():
+                if line.state in exclusive:
+                    other = owners.get(addr)
+                    if other is not None:
+                        raise self._fail(
+                            "coherence", cycle, f"addr {addr:#x}",
+                            f"L1s at nodes {other} and {tile.node} both "
+                            f"hold the line in an exclusive state",
+                            {"addr": addr, "nodes": [other, tile.node]},
+                        )
+                    owners[addr] = tile.node
+        for msg in iter_network_messages(self.net):
+            if msg.kind not in (Kind.GETS, Kind.GETX):
+                continue
+            requestor = msg.payload.requestor
+            l1 = system.tiles[requestor].l1
+            pending = l1.pending
+            if pending is None or pending[0] != msg.payload.addr:
+                raise self._fail(
+                    "coherence", cycle, f"node {requestor}",
+                    f"in-flight {msg.kind} for addr {msg.payload.addr:#x} "
+                    f"has no matching live MSHR (pending={pending})",
+                    {"addr": msg.payload.addr, "kind": msg.kind},
+                )
+        for tile in system.tiles:
+            l2 = tile.l2
+            if l2 is None:
+                continue
+            for addr, txn in l2.txns.items():
+                if txn.kind.name == "EVICT":
+                    continue  # eviction transactions track a removed line
+                line = l2.array.peek(addr)
+                if line is None or not line.busy:
+                    raise self._fail(
+                        "coherence", cycle,
+                        f"L2 bank {tile.node} addr {addr:#x}",
+                        f"directory transaction {txn.kind.name} has no "
+                        f"busy line backing it",
+                        {"addr": addr, "txn": txn.kind.name},
+                    )
+            for addr, line in l2.array.items():
+                if line.busy and addr not in l2.txns:
+                    raise self._fail(
+                        "coherence", cycle,
+                        f"L2 bank {tile.node} addr {addr:#x}",
+                        f"line is busy but no transaction is tracking it",
+                        {"addr": addr},
+                    )
+
+    # -- check: forward progress ---------------------------------------
+    def check_forward_progress(self, cycle: int) -> None:
+        threshold = self.stall_threshold
+        for router in self.net.routers:
+            for port, unit in router.inputs.items():
+                for vn_row in unit.vcs:
+                    for vc in vn_row:
+                        if not vc.buffer:
+                            continue
+                        age = cycle - vc.buffer[0][1]
+                        if age > threshold:
+                            flit = vc.buffer[0][0]
+                            raise self._fail(
+                                "forward_progress", cycle,
+                                f"router {router.node} {port.name} "
+                                f"vn{vc.vn} vc{vc.index}",
+                                f"head flit of {flit.msg.kind} "
+                                f"uid={flit.msg.uid} stalled for {age} "
+                                f"cycles (stage {vc.stage})",
+                                {"age": age, "uid": flit.msg.uid},
+                            )

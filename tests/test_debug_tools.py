@@ -40,6 +40,31 @@ def test_custom_callback():
     assert seen == [0, 1]
 
 
+def test_tracers_chain_and_detach_in_lifo_order():
+    net = Network(SystemConfig(n_cores=16))
+    first, second = [], []
+    attach_tracer(net, lambda cycle, r, port, flit: first.append(r.node))
+    attach_tracer(net, lambda cycle, r, port, flit: second.append(r.node))
+    run_traffic(net, [(0, 1)])
+    # both layers observe every traversal, previous-first
+    assert first == [0, 1]
+    assert second == [0, 1]
+    detach_tracer(net)  # pops the second layer only
+    run_traffic(net, [(4, 5)])
+    assert first == [0, 1, 4, 5]
+    assert second == [0, 1]
+    detach_tracer(net)  # back to no tracer at all
+    run_traffic(net, [(8, 9)])
+    assert first == [0, 1, 4, 5]
+    assert all(r.tracer is None for r in net.routers)
+
+
+def test_detach_without_tracer_is_harmless():
+    net = Network(SystemConfig(n_cores=16))
+    detach_tracer(net)
+    assert all(r.tracer is None for r in net.routers)
+
+
 def test_heatmap_shows_hot_routers():
     net = Network(SystemConfig(n_cores=16))
     run_traffic(net, [(0, 3), (4, 7), (8, 11)])

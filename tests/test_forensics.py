@@ -1,0 +1,133 @@
+"""Deadlock forensics: wait graphs, crash reports, watchdog hooks."""
+
+import json
+import os
+
+import pytest
+
+from repro.noc.traffic import RequestReplyTraffic
+from repro.sim.config import SystemConfig, Variant
+from repro.sim.kernel import DeadlockError, ProgressWatchdog, Simulator
+from repro.validate import (
+    FaultInjector,
+    FaultKind,
+    build_wait_graph,
+    crash_report,
+    find_cycle,
+    save_crash_report,
+)
+
+
+def test_find_cycle_on_synthetic_graph():
+    edges = [
+        {"src": "a", "dst": "b", "reason": ""},
+        {"src": "b", "dst": "c", "reason": ""},
+        {"src": "c", "dst": "a", "reason": ""},
+        {"src": "x", "dst": "a", "reason": ""},
+    ]
+    cycle = find_cycle(edges)
+    assert cycle is not None
+    assert cycle[0] == cycle[-1]
+    assert set(cycle) == {"a", "b", "c"}
+
+
+def test_find_cycle_none_on_dag():
+    edges = [
+        {"src": "a", "dst": "b", "reason": ""},
+        {"src": "b", "dst": "c", "reason": ""},
+        {"src": "a", "dst": "c", "reason": ""},
+    ]
+    assert find_cycle(edges) is None
+    assert find_cycle([]) is None
+
+
+def test_crash_report_structure_and_json_roundtrip(tmp_path):
+    config = SystemConfig(n_cores=16, seed=3).with_variant(
+        Variant.COMPLETE_NOACK
+    )
+    traffic = RequestReplyTraffic(config, 12.0, seed=3)
+    traffic.run(400)
+    report = crash_report(traffic.net, cycle=traffic.cycle)
+    data = report.to_json()
+    assert data["kind"] == "snapshot"
+    assert data["cycle"] == traffic.cycle
+    for key in ("counters", "blocked_vcs", "wait_edges", "ni_queues",
+                "mesh_dump", "in_flight"):
+        assert key in data
+    text = report.ascii()
+    assert "crash report" in text
+    assert "in flight" in text
+
+    path = save_crash_report(report, str(tmp_path), "weird/name:1")
+    assert os.path.basename(path) == "weird_name_1.json"
+    with open(path) as fh:
+        loaded = json.load(fh)
+    assert loaded["cycle"] == traffic.cycle
+    assert loaded["kind"] == "snapshot"
+
+
+def test_save_crash_report_accepts_plain_dict(tmp_path):
+    path = save_crash_report({"kind": "X", "error": "y"}, str(tmp_path), "m")
+    with open(path) as fh:
+        assert json.load(fh) == {"kind": "X", "error": "y"}
+
+
+def test_wait_graph_under_backpressure():
+    config = SystemConfig(n_cores=16, seed=5)
+    traffic = RequestReplyTraffic(config, 15.0, seed=5)
+    injector = FaultInjector(traffic.net, FaultKind.STUCK_PORT, seed=5,
+                             at_cycle=200)
+    for _ in range(2500):
+        traffic.run(1)
+        injector.tick(traffic.cycle)
+    assert injector.applied
+    edges = build_wait_graph(traffic.net)
+    assert edges, "expected blocked-VC edges behind a stuck port"
+    for edge in edges:
+        assert edge["src"].startswith("router")
+        assert edge["reason"]
+
+
+def test_progress_watchdog_hook_and_rich_message():
+    sim = Simulator()
+    hook_cycles = []
+
+    def on_deadlock(cycle):
+        hook_cycles.append(cycle)
+        return "extra context 42"
+
+    sim.add_watchdog(ProgressWatchdog(lambda: 7, window=50,
+                                      on_deadlock=on_deadlock))
+    with pytest.raises(DeadlockError) as exc_info:
+        sim.run(500)
+    err = exc_info.value
+    assert "no progress for 50 cycles" in str(err)
+    assert "extra context 42" in str(err)
+    assert err.cycle is not None
+    assert err.last_progress_cycle == 0
+    assert hook_cycles == [err.cycle]
+
+
+def test_deadlock_error_defaults():
+    err = DeadlockError("boom")
+    assert err.cycle is None
+    assert err.last_progress_cycle is None
+    assert err.report is None
+
+
+def test_system_attaches_crash_report_to_simulation_errors():
+    from repro.cpu.workloads import workload_by_name
+    from repro.system import build_system
+
+    config = SystemConfig(n_cores=16, seed=1)
+    system = build_system(config, workload_by_name("canneal"))
+    err = DeadlockError("synthetic stall", cycle=5)
+    system._attach_crash_report(err)
+    assert err.report is not None
+    assert err.report.data["kind"] == "DeadlockError"
+    assert err.report.data["error"] == "synthetic stall"
+    assert "protocol" in err.report.data
+    # idempotent: a second call keeps the first report
+    first = err.report
+    system._attach_crash_report(err)
+    assert err.report is first

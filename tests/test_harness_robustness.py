@@ -1,0 +1,144 @@
+"""Harness robustness: timeouts without SIGALRM, cache edge cases, and
+graceful degradation of failing runs in a sweep."""
+
+import json
+import logging
+import os
+import time
+import types
+
+import pytest
+
+from repro.harness import experiment, parallel
+from repro.harness.cache import FileLock, ResultCache
+from repro.harness.experiment import RunResult, RunSpec, run_matrix
+from repro.sim.config import Variant
+from repro.sim.kernel import DeadlockError
+
+
+# -- parallel._invoke ---------------------------------------------------
+
+def test_invoke_without_sigalrm_falls_back_to_plain_call(monkeypatch):
+    # platforms without SIGALRM (e.g. Windows) run untimed, not crash
+    monkeypatch.setattr(parallel, "signal", types.SimpleNamespace())
+    assert parallel._invoke(lambda x: x + 1, 41, timeout=5.0) == 42
+
+
+def test_invoke_without_timeout_runs_directly():
+    assert parallel._invoke(lambda x: x * 2, 21, timeout=None) == 42
+    assert parallel._invoke(lambda x: x * 2, 21, timeout=0) == 42
+
+
+def test_invoke_timeout_raises_in_process():
+    def slow(_payload):
+        time.sleep(5.0)
+
+    before = time.monotonic()
+    with pytest.raises(parallel.RunTimeoutError):
+        parallel._invoke(slow, None, timeout=0.05)
+    assert time.monotonic() - before < 2.0
+
+
+# -- cache edge cases ---------------------------------------------------
+
+def test_filelock_release_survives_missing_lock_file(tmp_path):
+    lock = FileLock(str(tmp_path / "x.lock"))
+    lock.acquire()
+    os.unlink(lock.path)  # an impatient operator removed it by hand
+    lock.release()  # must not raise
+    assert lock._fd is None
+    lock.release()  # and is idempotent
+
+
+def test_quarantine_losing_the_move_race_stays_quiet(
+    tmp_path, monkeypatch, caplog
+):
+    path = str(tmp_path / "cache.json")
+    with open(path, "w") as fh:
+        fh.write("{ torn json")
+    cache = ResultCache(path)
+
+    def lost_race(src, dst):
+        raise OSError("moved by a concurrent process")
+
+    monkeypatch.setattr("repro.harness.cache.os.replace", lost_race)
+    with caplog.at_level(logging.WARNING, logger="repro.harness.cache"):
+        assert cache.load_all() == {}
+    assert not any(
+        "quarantined" in record.getMessage() for record in caplog.records
+    )
+
+
+def test_quarantine_logs_a_warning_when_it_wins(tmp_path, caplog):
+    path = str(tmp_path / "cache.json")
+    with open(path, "w") as fh:
+        fh.write("{ torn json")
+    with caplog.at_level(logging.WARNING, logger="repro.harness.cache"):
+        assert ResultCache(path).load_all() == {}
+    assert any(
+        "quarantined" in record.getMessage() for record in caplog.records
+    )
+    assert not os.path.exists(path)
+
+
+# -- graceful degradation of failing runs -------------------------------
+
+@pytest.fixture
+def fake_runs(monkeypatch, tmp_path):
+    """run_experiment stub: 'streamcluster' deadlocks, the rest succeed."""
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_FAILFAST", raising=False)
+    monkeypatch.setenv("REPRO_CRASH_DIR", str(tmp_path))
+    monkeypatch.setattr(experiment, "_memo", {})
+
+    def fake_run(spec):
+        if spec.workload == "streamcluster":
+            raise DeadlockError("synthetic deadlock", cycle=123)
+        return RunResult(
+            spec_key=spec.key(), n_cores=spec.n_cores,
+            variant=spec.variant.value, workload=spec.workload,
+            exec_cycles=1000,
+        )
+
+    monkeypatch.setattr(experiment, "run_experiment", fake_run)
+    return tmp_path
+
+
+def test_run_matrix_degrades_failing_runs(fake_runs):
+    out = run_matrix(16, [Variant.BASELINE], ["canneal", "streamcluster"])
+    good = out[Variant.BASELINE]["canneal"]
+    bad = out[Variant.BASELINE]["streamcluster"]
+    assert not good.failed
+    assert good.exec_cycles == 1000
+    assert bad.failed
+    assert bad.error_kind == "DeadlockError"
+    assert "synthetic deadlock" in bad.error
+    assert bad.exec_cycles == 0
+    assert bad.crash_report is not None
+    assert os.path.exists(bad.crash_report)
+    with open(bad.crash_report) as fh:
+        assert json.load(fh)["kind"] == "DeadlockError"
+
+
+def test_run_matrix_fail_fast_restores_raising(fake_runs):
+    with pytest.raises(DeadlockError):
+        run_matrix(16, [Variant.BASELINE], ["canneal", "streamcluster"],
+                   fail_fast=True)
+
+
+def test_failure_results_are_not_disk_cached(fake_runs, monkeypatch):
+    cache_path = str(fake_runs / "results.json")
+    monkeypatch.setenv("REPRO_CACHE", cache_path)
+    spec = RunSpec(16, Variant.BASELINE, "streamcluster", 1)
+    result = experiment.run_experiment_safe(spec)
+    assert result.failed
+    stored = ResultCache(cache_path).load_all()
+    assert spec.scaled().key() not in stored
+
+
+def test_failure_results_survive_json_roundtrip(fake_runs):
+    spec = RunSpec(16, Variant.BASELINE, "streamcluster", 1)
+    result = experiment.run_experiment_safe(spec)
+    clone = RunResult.from_json(result.to_json())
+    assert clone.failed
+    assert clone.error_kind == "DeadlockError"

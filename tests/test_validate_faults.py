@@ -1,0 +1,42 @@
+"""Fault-injection campaign: every fault class caught by its own checker."""
+
+import json
+import os
+
+import pytest
+
+from repro.validate import EXPECTED_CHECKER, FaultKind, run_fault
+
+
+@pytest.mark.parametrize("kind", list(FaultKind), ids=lambda k: k.value)
+def test_fault_detected_by_expected_checker(kind, tmp_path):
+    outcome = run_fault(kind, seed=7, crash_dir=str(tmp_path))
+    assert outcome.injected is not None, "fault never found a target"
+    assert outcome.detected, f"{kind.value} escaped: {outcome.error}"
+    assert not outcome.false_positive
+    assert outcome.checker == EXPECTED_CHECKER[kind]
+    assert outcome.detect_cycle >= outcome.injected_cycle
+    assert outcome.ok
+
+    # a crash report was saved and records what was broken
+    assert outcome.report_path is not None
+    assert os.path.exists(outcome.report_path)
+    with open(outcome.report_path) as fh:
+        data = json.load(fh)
+    assert data["fault"]["fault"] == kind.value
+    assert data["fault"]["cycle"] == outcome.injected_cycle
+
+
+def test_injection_is_deterministic():
+    first = run_fault(FaultKind.LEAK_CREDIT, seed=11)
+    second = run_fault(FaultKind.LEAK_CREDIT, seed=11)
+    assert first.injected == second.injected
+    assert first.injected_cycle == second.injected_cycle
+    assert first.detect_cycle == second.detect_cycle
+    assert first.error == second.error
+
+
+def test_detection_is_seed_robust():
+    for seed in (11, 12):
+        outcome = run_fault(FaultKind.LEAK_CREDIT, seed=seed)
+        assert outcome.ok, f"seed {seed}: {outcome.error}"
