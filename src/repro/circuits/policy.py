@@ -608,7 +608,7 @@ class FragmentedPolicy(_TablePolicy):
         self.stats.bump("noc.buffer_writes")
         if vc.stage is VcStage.IDLE:
             vc.route = entry.out_port
-            router.vc_became_busy(port)
+            router.vc_became_busy(port, vc)
             vc.ready_cycle = cycle + 1
             if entry.out_port is Port.LOCAL or (
                 entry.fwd_reserved and entry.fwd_vc is not None
@@ -632,7 +632,7 @@ class FragmentedPolicy(_TablePolicy):
         if vc.stage is not VcStage.IDLE and not vc.buffer:
             vc.reset_for_next_packet(cycle)
             if vc.stage is VcStage.IDLE:
-                router.vc_became_idle(port)
+                router.vc_became_idle(port, vc)
 
     def on_tail_departure(self, router: "Router", in_port: Port, flit: Flit,
                           cycle: int) -> None:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 
 class ScheduledController:
@@ -14,16 +14,26 @@ class ScheduledController:
     directory / DRAM access time.  Handlers run during the controller's own
     tick, which the system builder orders before the NIs so that a response
     enqueued at cycle ``c`` first injects at ``c + 1``.
+
+    The event heap doubles as the activity report for the simulator
+    kernel: a controller with no pending events sleeps, and every
+    ``schedule`` call (which always comes from a tick or receive at an
+    earlier cycle - handler latencies are >= 1) pokes ``kernel_wake`` so
+    a sleeping controller is rescheduled for its next due handler.
     """
 
     def __init__(self) -> None:
         self._events: List[Tuple[int, int, Callable[[int], None]]] = []
         self._seq = 0
+        #: Set by the simulator kernel; pokes this controller awake.
+        self.kernel_wake = None
 
     def schedule(self, due: int, action: Callable[[int], None]) -> None:
         """Run ``action`` during the tick of cycle ``due``."""
         heapq.heappush(self._events, (due, self._seq, action))
         self._seq += 1
+        if self.kernel_wake is not None:
+            self.kernel_wake(due)
 
     def tick(self, cycle: int) -> None:
         """Execute every action whose due cycle has arrived."""
@@ -31,6 +41,12 @@ class ScheduledController:
         while events and events[0][0] <= cycle:
             _due, _seq, action = heapq.heappop(events)
             action(cycle)
+
+    def next_wake(self, cycle: int) -> Optional[int]:
+        """Sleep until the next scheduled handler (None = until receive)."""
+        if not self._events:
+            return None
+        return self._events[0][0]
 
     def pending_events(self) -> int:
         """Scheduled actions not yet executed (drain detection)."""

@@ -33,6 +33,8 @@ class Core:
         self.waiting = False
         self._gap = 0
         self._op: Optional[tuple] = None
+        #: Set by the simulator kernel; pokes this core awake.
+        self.kernel_wake = None
         l1.resume_core = self._resume
 
     @property
@@ -43,6 +45,15 @@ class Core:
         """Arm the core to retire ``instructions`` more instructions."""
         self.target = self.retired + instructions
         self.finish_cycle = None
+        if self.kernel_wake is not None:
+            self.kernel_wake()
+
+    def next_wake(self, cycle: int) -> Optional[int]:
+        """Sleep while blocked on the L1 or finished; the L1's fill
+        callback (``_resume``) wakes the core externally."""
+        if self.waiting or self.done:
+            return None
+        return cycle + 1
 
     def tick(self, cycle: int) -> None:
         """Retire one instruction, or issue/stall on a memory access."""
@@ -76,6 +87,10 @@ class Core:
         self.waiting = False
         self._op = None
         self._retire(cycle)
+        if self.kernel_wake is not None:
+            # The fill retired this instruction during the L1's tick; the
+            # core itself resumes issuing from the next cycle.
+            self.kernel_wake(cycle + 1)
 
     def _retire(self, cycle: int) -> None:
         self.retired += 1

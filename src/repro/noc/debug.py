@@ -5,6 +5,8 @@
 * :func:`utilization_heatmap` renders per-router crossbar activity as an
   ASCII grid, showing where traffic (and therefore contention)
   concentrates on the mesh.
+* :func:`sleep_report` summarises the activity-driven kernel's wake/sleep
+  state - who is asleep, until when, and how much ticking was skipped.
 """
 
 from __future__ import annotations
@@ -75,6 +77,30 @@ def reset_utilization(net: Network) -> None:
         router.forwarded = 0
 
 
+def sleep_report(sim) -> str:
+    """Summarise a Simulator's activity-driven sleep state.
+
+    One line per sleeping component (class + node when available, with
+    its scheduled wake cycle or ``ext`` for externally-woken sleepers),
+    preceded by the aggregate skip counters.  Intended for interactive
+    debugging and deadlock forensics: a component that should be working
+    but shows up here points straight at broken wake bookkeeping.
+    """
+    sleepers = sim.sleeping_slots()
+    lines = [
+        f"cycle {sim.cycle}: {len(sleepers)} asleep, "
+        f"{sim.ticks_run} ticks run, {sim.cycles_skipped} cycles "
+        f"skipped (skip ratio {sim.skip_ratio():.3f})"
+    ]
+    for component, wake_at in sleepers:
+        name = type(component).__name__
+        node = getattr(component, "node", None)
+        label = name if node is None else f"{name}[{node}]"
+        due = "ext" if wake_at is None else f"@{wake_at}"
+        lines.append(f"  {label} {due}")
+    return "\n".join(lines)
+
+
 class LoadSampler:
     """Periodic sampler of network activity (a Clocked component).
 
@@ -98,6 +124,11 @@ class LoadSampler:
         delta = count - self._last_count
         self._last_count = count
         self.samples.append(delta / self.net.mesh.n_nodes)
+
+    def next_wake(self, cycle: int) -> int:
+        """Sleep until the next sampling boundary (counters accumulate
+        in the stats object regardless, so skipped cycles lose nothing)."""
+        return cycle + self.interval - cycle % self.interval
 
     def mean_load(self) -> float:
         """Average injected flits per interval per node."""

@@ -81,6 +81,9 @@ class NetworkInterface:
         self.deliver: Optional[Callable[[Message, int], None]] = None
         #: Flits/credits in flight toward this NI (link watcher).
         self.incoming = 0
+        #: Set by the simulator kernel; links and the protocol layer poke
+        #: it so a sleeping NI wakes exactly when new work materialises.
+        self.kernel_wake = None
 
     # ------------------------------------------------------------------
     # Protocol-facing API.
@@ -93,6 +96,9 @@ class NetworkInterface:
             self.req_queue.append(msg)
         else:
             self.reply_pending.append(msg)
+        if self.kernel_wake is not None:
+            # Injectable (and plannable) from the next cycle on.
+            self.kernel_wake(cycle + 1)
 
     def cancel_circuit(self, key: CircuitKey, cycle: int) -> bool:
         """Protocol decided a reserved circuit will never be used (4.4).
@@ -109,6 +115,8 @@ class NetworkInterface:
         circuit flits already in flight on the same path.
         """
         self._undo_out.append((cycle + 1, key))
+        if self.kernel_wake is not None:
+            self.kernel_wake(cycle + 1)
 
     def rx_partial_flits(self) -> int:
         """Flits of partially reassembled messages (exact-census probe)."""
@@ -132,11 +140,22 @@ class NetworkInterface:
     def tick(self, cycle: int) -> None:
         if not self._has_work():
             return
-        self._pull_credits(cycle)
-        self._pull_ejections(cycle)
-        self._flush_undo(cycle)
-        self._plan_replies(cycle)
-        self._inject_one_flit(cycle)
+        if self.incoming:
+            self._pull_credits(cycle)
+            self._pull_ejections(cycle)
+        if self._undo_out:
+            self._flush_undo(cycle)
+        if self.reply_pending:
+            self._plan_replies(cycle)
+        if (
+            self.active_circuit is not None
+            or self.held
+            or self.req_queue
+            or self.reply_queue
+            or self.active_packet[0] is not None
+            or self.active_packet[1] is not None
+        ):
+            self._inject_one_flit(cycle)
 
     def _has_work(self) -> bool:
         return bool(
@@ -150,6 +169,39 @@ class NetworkInterface:
             or self.active_packet[0] is not None
             or self.active_packet[1] is not None
         )
+
+    def next_wake(self, cycle: int) -> Optional[int]:
+        """Report the next cycle this NI could possibly act.
+
+        Queued messages and active sends need a tick every cycle.  All
+        other NI work is future-dated with an exactly-known due cycle -
+        ``incoming`` traffic still on the wire (link queue heads), held
+        circuit replies (timed windows) and queued undo notices - so
+        with only those pending, the NI sleeps until the earliest one.
+        """
+        if (
+            self.req_queue
+            or self.reply_pending
+            or self.reply_queue
+            or self.active_circuit is not None
+            or self.active_packet[0] is not None
+            or self.active_packet[1] is not None
+        ):
+            return cycle + 1
+        due: Optional[int] = None
+        if self.incoming:
+            for link in (self.from_router, self.credit_in):
+                if link is not None and link._queue:
+                    arrival = link._queue[0][0]
+                    if due is None or arrival < due:
+                        due = arrival
+        if self.held and (due is None or self.held[0][0] < due):
+            due = self.held[0][0]
+        if self._undo_out:
+            undo_due = min(entry[0] for entry in self._undo_out)
+            if due is None or undo_due < due:
+                due = undo_due
+        return due
 
     def _pull_credits(self, cycle: int) -> None:
         link = self.credit_in

@@ -23,7 +23,10 @@ class FlitLink:
 
     ``watcher`` (the receiving router/NI) is poked on every send so idle
     receivers can skip their tick entirely - a pure simulation-speed
-    optimisation with no architectural effect.
+    optimisation with no architectural effect.  When the watcher is
+    registered with an activity-driven :class:`~repro.sim.kernel.Simulator`
+    its ``kernel_wake`` is also poked with the arrival cycle, so a
+    sleeping receiver is rescheduled exactly when the flit lands.
     """
 
     __slots__ = ("latency", "_queue", "watcher")
@@ -35,9 +38,14 @@ class FlitLink:
 
     def send(self, flit: Flit, cycle: int) -> None:
         """Put ``flit`` on the wire during ``cycle`` (its ST cycle)."""
-        self._queue.append((cycle + 1 + self.latency, flit))
-        if self.watcher is not None:
-            self.watcher.incoming += 1
+        due = cycle + 1 + self.latency
+        self._queue.append((due, flit))
+        watcher = self.watcher
+        if watcher is not None:
+            watcher.incoming += 1
+            wake = getattr(watcher, "kernel_wake", None)
+            if wake is not None:
+                wake(due)
 
     def arrivals(self, cycle: int) -> Iterator[Flit]:
         """Yield flits available to the receiver at ``cycle``."""
@@ -93,15 +101,21 @@ class CreditLink:
         purely an energy optimisation, so we model it in the energy counters
         rather than in the channel itself.
         """
-        self._queue.append((cycle + 1 + self.latency, Credit(vn, vc)))
-        if self.watcher is not None:
-            self.watcher.incoming += 1
+        self._push(Credit(vn, vc), cycle)
 
     def send_undo(self, key: CircuitKey, cycle: int) -> None:
         """Send an undo notice for ``key`` (dedicated or piggybacked credit)."""
-        self._queue.append((cycle + 1 + self.latency, Credit(undo_key=key)))
-        if self.watcher is not None:
-            self.watcher.incoming += 1
+        self._push(Credit(undo_key=key), cycle)
+
+    def _push(self, credit: Credit, cycle: int) -> None:
+        due = cycle + 1 + self.latency
+        self._queue.append((due, credit))
+        watcher = self.watcher
+        if watcher is not None:
+            watcher.incoming += 1
+            wake = getattr(watcher, "kernel_wake", None)
+            if wake is not None:
+                wake(due)
 
     def arrivals(self, cycle: int) -> Iterator[Credit]:
         queue = self._queue

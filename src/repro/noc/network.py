@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, TYPE_CHECKING
 
 from repro.noc.flit import Message
 from repro.noc.interface import NetworkInterface
@@ -11,8 +11,9 @@ from repro.noc.router import Router
 from repro.noc.topology import Mesh, Port, opposite
 from repro.sim.stats import Stats
 
-if False:  # pragma: no cover - typing only
+if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.config import SystemConfig
+    from repro.sim.kernel import Simulator
 
 
 class Network:
@@ -96,10 +97,28 @@ class Network:
         self.interfaces[msg.src].enqueue(msg, cycle)
 
     def tick(self, cycle: int) -> None:
+        """Advance every router, then every NI, by one cycle.
+
+        Kept for manual drivers (traffic generators, unit tests); systems
+        built on a :class:`~repro.sim.kernel.Simulator` should call
+        :meth:`register` instead so each router/NI can sleep individually.
+        """
         for router in self.routers:
             router.tick(cycle)
         for ni in self.interfaces:
             ni.tick(cycle)
+
+    def register(self, sim: "Simulator") -> None:
+        """Register each router and NI with ``sim`` as its own component.
+
+        Preserves the exact intra-cycle order of :meth:`tick` (all routers,
+        then all NIs) while letting the activity-driven kernel skip the
+        idle ones.
+        """
+        for router in self.routers:
+            sim.add(router)
+        for ni in self.interfaces:
+            sim.add(ni)
 
     def in_flight(self) -> int:
         """Flits/messages anywhere in the network or NI queues."""

@@ -39,7 +39,8 @@ EJECTION_CREDITS = 1 << 30
 class InputUnit:
     """All per-input-port state: VCs, circuit table, ideal-mode wait queue."""
 
-    __slots__ = ("port", "vcs", "circuit_table", "wait_queue", "busy_count")
+    __slots__ = ("port", "vcs", "circuit_table", "wait_queue", "busy_count",
+                 "busy_list")
 
     def __init__(self, port: Port, vcs: List[List[InputVc]]) -> None:
         self.port = port
@@ -51,6 +52,10 @@ class InputUnit:
         self.wait_queue: List[Flit] = []
         #: Non-IDLE VCs at this port (lets allocation skip idle ports).
         self.busy_count = 0
+        #: The non-IDLE VCs themselves, kept sorted by (vn, index) so the
+        #: allocation stages see candidates in the same order a full scan
+        #: of ``vcs`` would produce (round-robin decisions depend on it).
+        self.busy_list: List[InputVc] = []
 
 
 class OutputUnit:
@@ -130,6 +135,9 @@ class Router:
         self.forwarded = 0
         #: Optional debug tracer: fn(cycle, router, out_port, flit).
         self.tracer = None
+        #: Set by the simulator kernel; links poke it with arrival cycles
+        #: so a sleeping router wakes exactly when traffic reaches it.
+        self.kernel_wake = None
 
     # ------------------------------------------------------------------
     # Helpers used by policies and the network interface machinery.
@@ -169,13 +177,22 @@ class Router:
         self.out_credit[out_port].send_undo(key, cycle)
         self.stats.bump("circuit.undo_hops")
 
-    def vc_became_busy(self, port: Port) -> None:
+    def vc_became_busy(self, port: Port, vc: InputVc) -> None:
         self._busy_vcs += 1
-        self.inputs[port].busy_count += 1
+        unit = self.inputs[port]
+        unit.busy_count += 1
+        busy = unit.busy_list
+        key = (vc.vn, vc.index)
+        i = len(busy)
+        while i and (busy[i - 1].vn, busy[i - 1].index) > key:
+            i -= 1
+        busy.insert(i, vc)
 
-    def vc_became_idle(self, port: Port) -> None:
+    def vc_became_idle(self, port: Port, vc: InputVc) -> None:
         self._busy_vcs -= 1
-        self.inputs[port].busy_count -= 1
+        unit = self.inputs[port]
+        unit.busy_count -= 1
+        unit.busy_list.remove(vc)
 
     def route_reply(self, dest: int) -> Port:
         """Reply-VN route from this router toward ``dest``."""
@@ -194,6 +211,12 @@ class Router:
             if port in self.in_flit
         ]
         self._input_units = [(port, self.inputs[port]) for port in self.ports]
+        # allocatable_vcs() is a static property of the policy; caching it
+        # keeps a per-VC virtual call out of the allocation inner loops.
+        self._alloc_vn = tuple(
+            self.policy.allocatable_vcs(vn)
+            for vn in range(len(self.config.noc.vcs_per_vn))
+        )
 
     # ------------------------------------------------------------------
     # Tick.
@@ -203,12 +226,20 @@ class Router:
             return
         self._out_claimed = 0
         self._in_claimed = 0
-        self._pull_credits(cycle)
-        self.policy.retry_waiting(self, cycle)
-        self._pull_flits(cycle)
-        self._switch_traversal(cycle)
-        self._switch_allocation(cycle)
-        self._vc_allocation(cycle)
+        # ``incoming`` counts flits+credits queued on our input links, so
+        # when it is zero both pull loops would scan empty queues.
+        incoming = self.incoming
+        if incoming:
+            self._pull_credits(cycle)
+        if self._waiting:
+            self.policy.retry_waiting(self, cycle)
+        if incoming:
+            self._pull_flits(cycle)
+        if self._st_pending:
+            self._switch_traversal(cycle)
+        if self._busy_vcs:
+            self._switch_allocation(cycle)
+            self._vc_allocation(cycle)
 
     def _has_work(self) -> bool:
         if self._busy_vcs or self._st_pending or self.incoming:
@@ -218,6 +249,63 @@ class Router:
                 if unit.wait_queue:
                     return True
         return False
+
+    def next_wake(self, cycle: int) -> Optional[int]:
+        """Sleep whenever the next tick could not make forward progress.
+
+        Beyond the obvious idle case, a *blocked* router sleeps too: a VC
+        waiting on downstream credits, on body flits from upstream, or on
+        an occupied output VC cannot act until an event that either
+        arrives on a watched link (flit/credit sends poke ``kernel_wake``)
+        or is produced by this router's own pipeline during a cycle it is
+        awake for anyway (tail departures need a switch traversal, and
+        ``_st_pending`` keeps the router awake through those).  Losing
+        arbitration always implies some other VC won a grant, so
+        ``_st_pending`` covers contention retries as well.  Skipping
+        blocked cycles is also state-identical because the round-robin
+        arbiters only advance on grants, never on empty candidate sets.
+
+        A router whose only pending work is ``incoming`` traffic still on
+        the wire sleeps through the wire latency: the earliest due cycle
+        across its input links is exact.  Circuit-table entries need no
+        wakeup of their own: expired windows self-clean lazily and
+        circuit flits arrive on watched links.
+        """
+        if self._st_pending:
+            return cycle + 1
+        if self._waiting:
+            for _port, unit in self._input_units:
+                if unit.wait_queue:
+                    return cycle + 1
+        due: Optional[int] = None
+        if self._busy_vcs:
+            threshold = cycle + 1
+            for _port, unit in self._input_units:
+                for vc in unit.busy_list:
+                    if vc.ready_cycle > threshold:
+                        if due is None or vc.ready_cycle < due:
+                            due = vc.ready_cycle
+                        continue
+                    if vc.stage is VcStage.ACTIVE:
+                        # granted_pending is impossible here: grants sit
+                        # in _st_pending until their switch traversal.
+                        if vc.buffer and self._downstream_credit(vc):
+                            return threshold
+                    else:  # VcStage.VA
+                        out_vcs = self.outputs[vc.route].vcs[vc.vn]
+                        for index in self._alloc_vn[vc.vn]:
+                            if out_vcs[index].is_free:
+                                return threshold
+        if self.incoming:
+            for _port, link in self._flit_pulls:
+                queue = link._queue
+                if queue and (due is None or queue[0][0] < due):
+                    due = queue[0][0]
+            for _port, link in self._credit_pulls:
+                queue = link._queue
+                if queue and (due is None or queue[0][0] < due):
+                    due = queue[0][0]
+        return due
 
     # -- credits ---------------------------------------------------------
     def _pull_credits(self, cycle: int) -> None:
@@ -258,7 +346,7 @@ class Router:
         vc.buffer.append((flit, cycle, flit.dst_vc))
         self.stats.bump("noc.buffer_writes")
         if flit.is_head and vc.stage is VcStage.IDLE and len(vc.buffer) == 1:
-            self.vc_became_busy(port)
+            self.vc_became_busy(port, vc)
             self._route_compute(vc, flit, cycle)
 
     def _route_compute(self, vc: InputVc, flit: Flit, cycle: int) -> None:
@@ -303,7 +391,7 @@ class Router:
                     assert next_head.is_head
                     self._route_compute(vc, next_head, cycle)
                 else:
-                    self.vc_became_idle(in_port)
+                    self.vc_became_idle(in_port, vc)
         self._st_pending = remaining
 
     # -- stage 3: switch allocation ----------------------------------------
@@ -312,19 +400,16 @@ class Router:
             return
         port_winners: Dict[Port, Tuple[int, int]] = {}
         for port, unit in self._input_units:
-            if not unit.busy_count:
-                continue
             candidates: List[Tuple[int, int]] = []
-            for vn_row in unit.vcs:
-                for vc in vn_row:
-                    if (
-                        vc.stage is VcStage.ACTIVE
-                        and not vc.granted_pending
-                        and vc.ready_cycle <= cycle
-                        and vc.head_ready(cycle)
-                        and self._downstream_credit(vc)
-                    ):
-                        candidates.append((vc.vn, vc.index))
+            for vc in unit.busy_list:
+                if (
+                    vc.stage is VcStage.ACTIVE
+                    and not vc.granted_pending
+                    and vc.ready_cycle <= cycle
+                    and vc.head_ready(cycle)
+                    and self._downstream_credit(vc)
+                ):
+                    candidates.append((vc.vn, vc.index))
             if candidates:
                 choice = self._sa_in.pick(port, candidates)
                 if choice is not None:
@@ -358,19 +443,16 @@ class Router:
             return
         requests: Dict[Tuple[Port, int, int], List[Tuple[Port, int, int]]] = {}
         for port, unit in self._input_units:
-            if not unit.busy_count:
-                continue
-            for vn_row in unit.vcs:
-                for vc in vn_row:
-                    if vc.stage is not VcStage.VA or vc.ready_cycle > cycle:
-                        continue
-                    options = [
-                        (vc.route, vc.vn, index)
-                        for index in self.policy.allocatable_vcs(vc.vn)
-                        if self.outputs[vc.route].vcs[vc.vn][index].is_free
-                    ]
-                    if options:
-                        requests[(port, vc.vn, vc.index)] = options
+            for vc in unit.busy_list:
+                if vc.stage is not VcStage.VA or vc.ready_cycle > cycle:
+                    continue
+                options = [
+                    (vc.route, vc.vn, index)
+                    for index in self._alloc_vn[vc.vn]
+                    if self.outputs[vc.route].vcs[vc.vn][index].is_free
+                ]
+                if options:
+                    requests[(port, vc.vn, vc.index)] = options
         if not requests:
             return
         grants = two_phase_allocate(requests, self._va_p1, self._va_p2)

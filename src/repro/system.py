@@ -110,7 +110,9 @@ class CmpSystem:
             self.sim.add(tile.l2)
             if tile.mc is not None:
                 self.sim.add(tile.mc)
-        self.sim.add(self.network)
+        # Routers and NIs register individually (same order as
+        # Network.tick) so the kernel can sleep each one on its own.
+        self.network.register(self.sim)
 
     def _make_dispatch(self, tile: Tile) -> Callable[[Message, int], None]:
         l1, l2, mc = tile.l1, tile.l2, tile.mc
@@ -188,7 +190,7 @@ class CmpSystem:
             self._attach_crash_report(error)
             raise
         finally:
-            self.sim._watchdogs.remove(watchdog)
+            self.sim.remove_watchdog(watchdog)
         return max(core.finish_cycle for core in self.cores)
 
     def functional_prewarm(self) -> None:

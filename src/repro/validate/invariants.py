@@ -30,6 +30,13 @@ cycles re-derives the system's conservation laws from first principles:
     cycles (a localised deadlock detector - the global
     :class:`~repro.sim.kernel.ProgressWatchdog` only sees chip-wide stalls).
 
+``kernel_sleep``
+    (Only when :meth:`InvariantMonitor.attach`-ed to a Simulator.)
+    The activity-driven kernel's sleep bookkeeping is sound: a sleeping
+    router/NI/controller/core really has no runnable work, and any
+    future-dated work (scheduled handlers, held circuit replies, queued
+    undo notices) has a wakeup scheduled no later than its due cycle.
+
 ``coherence``
     (Only when constructed with a :class:`~repro.system.CmpSystem`.)
     At most one L1 holds a line in E/M, every in-flight GETS/GETX has a
@@ -51,7 +58,11 @@ from repro.sim.kernel import SimulationError
 #: Check families in evaluation order.  Order matters for fault
 #: attribution: the cheapest, most local law that a fault breaks should
 #: fire before its knock-on effects trip a broader one.
+#: ``kernel_sleep`` audits the simulation kernel itself (a sleeping
+#: component must truly have no runnable work) and runs first: if the
+#: activity tracking is wrong, every higher-level law is suspect.
 ALL_CHECKS = (
+    "kernel_sleep",
     "link_sanity",
     "flit_conservation",
     "credit_conservation",
@@ -216,6 +227,8 @@ class InvariantMonitor:
             raise ValueError(f"unknown invariant checks: {sorted(unknown)}")
         self.checks_run = 0
         self.violations = 0
+        #: Simulator this monitor is attached to (enables kernel_sleep).
+        self.sim = None
         policy = net.policy
         self._policy_name = getattr(policy, "name", "baseline")
         self._circuit_credits = bool(getattr(policy, "circuit_credits", False))
@@ -224,6 +237,7 @@ class InvariantMonitor:
     # -- wiring --------------------------------------------------------
     def attach(self, sim) -> "InvariantMonitor":
         """Register with a :class:`Simulator` as a per-cycle watchdog."""
+        self.sim = sim
         sim.add_watchdog(self)
         return self
 
@@ -232,11 +246,18 @@ class InvariantMonitor:
             return
         self.check_now(cycle)
 
+    def next_due(self, cycle: int) -> int:
+        """Next cycle a check fires (bounds kernel clock fast-forwarding)."""
+        remainder = cycle % self.interval
+        return cycle if remainder == 0 else cycle + self.interval - remainder
+
     def check_now(self, cycle: int) -> None:
         """Run every enabled check immediately (raises on violation)."""
         self.checks_run += 1
         for check in self.checks:
             if check == "coherence" and self.system is None:
+                continue
+            if check == "kernel_sleep" and self.sim is None:
                 continue
             getattr(self, f"check_{check}")(cycle)
 
@@ -579,6 +600,197 @@ class InvariantMonitor:
                         f"L2 bank {tile.node} addr {addr:#x}",
                         f"line is busy but no transaction is tracking it",
                         {"addr": addr},
+                    )
+
+    # -- check: kernel sleep bookkeeping -------------------------------
+    def check_kernel_sleep(self, cycle: int) -> None:
+        """A sleeping component must truly have no runnable work.
+
+        Re-derives each component class's idleness from its raw state
+        (buffers, queues, event heaps) rather than trusting its
+        ``next_wake`` - the very method under audit.  Future-dated work
+        is legal while asleep only if a wakeup is scheduled at or before
+        its due cycle.
+        """
+        if self.sim is None:
+            return
+        from repro.coherence.base import ScheduledController
+        from repro.cpu.core import Core
+        from repro.noc.interface import NetworkInterface
+        from repro.noc.router import Router
+        from repro.noc.vc import VcStage
+
+        def fail(label, message, details=None):
+            raise self._fail("kernel_sleep", cycle, label, message, details)
+
+        def check_arrivals(label, incoming, links, wake_at):
+            """In-flight traffic toward a sleeper needs a timely wakeup."""
+            if not incoming:
+                return
+            earliest = None
+            for link in links:
+                if link is not None and link._queue:
+                    due = link._queue[0][0]
+                    if earliest is None or due < earliest:
+                        earliest = due
+            if earliest is None:
+                fail(
+                    label,
+                    f"sleeper counts {incoming} incoming but no in-link "
+                    f"holds anything (watcher accounting corrupt)",
+                    {"incoming": incoming},
+                )
+            if wake_at is None or wake_at > earliest:
+                fail(
+                    label,
+                    f"sleeper has traffic arriving at cycle {earliest} "
+                    f"but its wakeup is scheduled at {wake_at}",
+                    {"earliest": earliest, "wake_at": wake_at},
+                )
+
+        for component, wake_at in self.sim.sleeping_slots():
+            if isinstance(component, Router):
+                label = f"router {component.node}"
+                waiting = sum(
+                    len(unit.wait_queue)
+                    for unit in component.inputs.values()
+                )
+                if component._st_pending or waiting:
+                    fail(
+                        label,
+                        f"sleeping router holds runnable work: "
+                        f"{len(component._st_pending)} granted traversals, "
+                        f"{waiting} waiting",
+                        {
+                            "st_pending": len(component._st_pending),
+                            "waiting": waiting,
+                        },
+                    )
+                # Buffered packets are legal while asleep only if every
+                # busy VC is genuinely blocked: an ACTIVE VC with a ready
+                # head and downstream credit, or a VA VC with a free
+                # output VC, could have acted next cycle.
+                for port, unit in component.inputs.items():
+                    for vn_row in unit.vcs:
+                        for vc in vn_row:
+                            if vc.stage is VcStage.IDLE:
+                                continue
+                            where = (
+                                f"{port.name} vn{vc.vn} vc{vc.index} "
+                                f"(stage {vc.stage.value})"
+                            )
+                            if vc.ready_cycle > cycle + 1:
+                                if wake_at is None \
+                                        or wake_at > vc.ready_cycle:
+                                    fail(
+                                        label,
+                                        f"VC {where} is scheduled for "
+                                        f"cycle {vc.ready_cycle} but the "
+                                        f"wakeup is at {wake_at}",
+                                        {"ready": vc.ready_cycle,
+                                         "wake_at": wake_at},
+                                    )
+                                continue
+                            if vc.stage is VcStage.ACTIVE:
+                                if vc.granted_pending:
+                                    fail(
+                                        label,
+                                        f"VC {where} has a grant pending "
+                                        f"but no queued traversal",
+                                    )
+                                if vc.buffer \
+                                        and component._downstream_credit(vc):
+                                    fail(
+                                        label,
+                                        f"sleeping router could traverse "
+                                        f"VC {where} next cycle",
+                                    )
+                            elif vc.stage is VcStage.VA:
+                                out_vcs = (
+                                    component.outputs[vc.route].vcs[vc.vn]
+                                )
+                                for index in (
+                                    component.policy.allocatable_vcs(vc.vn)
+                                ):
+                                    if out_vcs[index].is_free:
+                                        fail(
+                                            label,
+                                            f"sleeping router could "
+                                            f"allocate VC {where} next "
+                                            f"cycle",
+                                        )
+                check_arrivals(
+                    label, component.incoming,
+                    list(component.in_flit.values())
+                    + list(component.in_credit.values()),
+                    wake_at,
+                )
+            elif isinstance(component, NetworkInterface):
+                label = f"ni {component.node}"
+                queued = (
+                    len(component.req_queue)
+                    + len(component.reply_pending)
+                    + len(component.reply_queue)
+                )
+                active = sum(
+                    1 for act in component.active_packet.values()
+                    if act is not None
+                )
+                if component.active_circuit is not None:
+                    active += 1
+                if queued or active:
+                    fail(
+                        label,
+                        f"sleeping NI holds runnable work: {queued} "
+                        f"queued, {active} active sends",
+                        {"queued": queued, "active": active},
+                    )
+                check_arrivals(
+                    label, component.incoming,
+                    [component.from_router, component.credit_in],
+                    wake_at,
+                )
+                for kind, due in (
+                    ("held reply", component.held[0][0]
+                     if component.held else None),
+                    ("undo notice", min(e[0] for e in component._undo_out)
+                     if component._undo_out else None),
+                ):
+                    if due is None:
+                        continue
+                    if wake_at is None or wake_at > max(due, cycle + 1):
+                        fail(
+                            label,
+                            f"sleeping NI has a {kind} due at cycle {due} "
+                            f"but its wakeup is scheduled at {wake_at}",
+                            {"due": due, "wake_at": wake_at},
+                        )
+            elif isinstance(component, ScheduledController):
+                label = f"{type(component).__name__} {component.node}"
+                if component._events:
+                    due = component._events[0][0]
+                    if wake_at is None or wake_at > due:
+                        fail(
+                            label,
+                            f"sleeping controller has a handler due at "
+                            f"cycle {due} but its wakeup is scheduled at "
+                            f"{wake_at}",
+                            {"due": due, "wake_at": wake_at},
+                        )
+            elif isinstance(component, Core):
+                # An L1 fill during this cycle (L1s tick after cores)
+                # clears `waiting` and schedules the wake for cycle + 1;
+                # the core legitimately stays asleep until then.
+                resumed = wake_at is not None and wake_at <= cycle + 1
+                if not component.waiting and not component.done \
+                        and not resumed:
+                    fail(
+                        f"core {component.node}",
+                        "sleeping core is neither blocked on the L1 nor "
+                        "done, and no wakeup is scheduled",
+                        {"retired": component.retired,
+                         "target": component.target,
+                         "wake_at": wake_at},
                     )
 
     # -- check: forward progress ---------------------------------------

@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Benchmark the activity-driven kernel against forced always-tick mode.
+
+Usage:
+    PYTHONPATH=src python tools/bench_kernel.py            # default sweep
+    PYTHONPATH=src python tools/bench_kernel.py --quick    # CI smoke
+    PYTHONPATH=src python tools/bench_kernel.py --full     # + saturation rates
+
+Every point runs the synthetic request-reply sweep twice on identical
+seeds - once with ``Simulator.set_always_tick(True)`` (the legacy
+cycle-driven behaviour) and once activity-driven - verifies the two
+produce bit-identical stats and finish cycles, and times both with
+``time.process_time()`` (CPU time: immune to scheduler noise), keeping
+the best of ``--reps`` interleaved repetitions.
+
+The default sweep covers the idle-dominated loads the kernel exists
+for (0.25-1.0 requests/kcycle/node: long runs where most routers,
+links and NIs are idle on any given cycle).  ``--full`` extends to the
+standard load-sweep rates (2-48), where more components are busy each
+cycle and the activity kernel converges to always-tick parity - those
+points are reported but excluded from the headline aggregate.
+
+Results land in BENCH_kernel.json (``--out``): per-point seconds,
+cycles/sec and runs/sec for both modes, skip ratio, and the aggregate
+speedup over the default sweep.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.noc.traffic import RequestReplyTraffic
+from repro.sim.config import SystemConfig, Variant
+
+DEFAULT_RATES = (0.25, 0.5, 1.0)
+FULL_RATES = (2.0, 6.0, 12.0, 24.0, 48.0)
+VARIANTS = (Variant.BASELINE, Variant.COMPLETE, Variant.COMPLETE_NOACK)
+
+
+def snapshot(traffic):
+    """Everything an equivalent run must reproduce exactly."""
+    stats = traffic.net.stats
+    return (
+        dict(stats.counters),
+        {k: (m.total, m.count) for k, m in stats.means.items()},
+        {k: (dict(h.buckets), h.count) for k, h in stats.histograms.items()},
+        traffic.cycle,
+        traffic.requests_sent,
+        traffic.replies_received,
+        tuple(traffic.reply_latencies),
+    )
+
+
+def one_run(variant, rate, cycles, seed, n_cores, always):
+    """Build, run and drain one sweep point; return (traffic, cpu_seconds)."""
+    cfg = SystemConfig(n_cores=n_cores).with_variant(variant)
+    traffic = RequestReplyTraffic(cfg, rate, seed=seed)
+    if always:
+        traffic.sim.set_always_tick(True)
+    start = time.process_time()
+    traffic.run(cycles)
+    traffic.drain()
+    return traffic, time.process_time() - start
+
+
+def bench_point(variant, rate, cycles, seed, n_cores, reps):
+    """Time one (variant, rate) point in both modes, best-of-``reps``."""
+    best = {"always": None, "activity": None}
+    snaps = {}
+    last = {}
+    for _ in range(reps):
+        for mode in ("always", "activity"):
+            traffic, seconds = one_run(
+                variant, rate, cycles, seed, n_cores, always=(mode == "always")
+            )
+            snaps.setdefault(mode, snapshot(traffic))
+            last[mode] = traffic
+            if best[mode] is None or seconds < best[mode]:
+                best[mode] = seconds
+    identical = snaps["always"] == snaps["activity"]
+    sim = last["activity"].sim
+    total_cycles = sim.cycle
+
+    def mode_report(mode):
+        seconds = best[mode]
+        return {
+            "seconds": round(seconds, 6),
+            "cycles_per_sec": round(total_cycles / seconds) if seconds else None,
+            "runs_per_sec": round(1.0 / seconds, 4) if seconds else None,
+        }
+
+    report = {
+        "variant": variant.name,
+        "rate_req_per_kcycle_node": rate,
+        "cycles": cycles,
+        "simulated_cycles": total_cycles,
+        "identical": identical,
+        "always": mode_report("always"),
+        "activity": mode_report("activity"),
+        "speedup": round(best["always"] / best["activity"], 3),
+        "skip_ratio": round(sim.skip_ratio(), 4),
+        "cycles_skipped": sim.cycles_skipped,
+        "ticks_run": sim.ticks_run,
+    }
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: one rate, fewer cycles, one rep")
+    parser.add_argument("--full", action="store_true",
+                        help="also bench the saturation rates (2-48)")
+    parser.add_argument("--cycles", type=int, default=None,
+                        help="injection cycles per point (default 50000)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="repetitions per mode, best kept (default 2)")
+    parser.add_argument("--nodes", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default="BENCH_kernel.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        rates, cycles, reps = (0.5,), 8000, 1
+    else:
+        rates, cycles, reps = DEFAULT_RATES, 50_000, 2
+    cycles = args.cycles if args.cycles is not None else cycles
+    reps = args.reps if args.reps is not None else reps
+
+    points = []
+    all_identical = True
+    print(f"{'variant':<16} {'rate':>6} {'always':>9} {'activity':>9} "
+          f"{'speedup':>8} {'skip':>6}  identical")
+    for headline, sweep_rates in ((True, rates),
+                                  (False, FULL_RATES if args.full else ())):
+        for rate in sweep_rates:
+            for variant in VARIANTS:
+                point = bench_point(
+                    variant, rate, cycles, args.seed, args.nodes, reps
+                )
+                point["headline"] = headline
+                points.append(point)
+                all_identical &= point["identical"]
+                print(f"{point['variant']:<16} {rate:>6} "
+                      f"{point['always']['seconds']:>8.3f}s "
+                      f"{point['activity']['seconds']:>8.3f}s "
+                      f"{point['speedup']:>7.2f}x "
+                      f"{point['skip_ratio']:>6.2f}  {point['identical']}")
+
+    head = [p for p in points if p["headline"]]
+    always_s = sum(p["always"]["seconds"] for p in head)
+    activity_s = sum(p["activity"]["seconds"] for p in head)
+    sim_cycles = sum(p["simulated_cycles"] for p in head)
+    aggregate = {
+        "points": len(head),
+        "always_seconds": round(always_s, 4),
+        "activity_seconds": round(activity_s, 4),
+        "always_cycles_per_sec": round(sim_cycles / always_s),
+        "activity_cycles_per_sec": round(sim_cycles / activity_s),
+        "speedup_cycles_per_sec": round(always_s / activity_s, 3),
+        "all_identical": all_identical,
+    }
+    result = {
+        "schema": 1,
+        "config": {
+            "n_cores": args.nodes,
+            "cycles_per_point": cycles,
+            "reps": reps,
+            "seed": args.seed,
+            "timer": "process_time",
+            "mode": "quick" if args.quick else ("full" if args.full else "default"),
+        },
+        "points": points,
+        "aggregate": aggregate,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(f"\naggregate over {aggregate['points']} default-sweep points: "
+          f"{aggregate['speedup_cycles_per_sec']}x "
+          f"({aggregate['always_cycles_per_sec']} -> "
+          f"{aggregate['activity_cycles_per_sec']} cycles/sec), "
+          f"identical={all_identical}")
+    print(f"wrote {args.out}")
+    if not all_identical:
+        print("ERROR: activity-driven run diverged from always-tick",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
