@@ -37,10 +37,13 @@ from repro.partition import (
     quadrants,
 )
 from repro.system import CmpSystem, build_system
+from repro.telemetry import Telemetry, TelemetryConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Telemetry",
+    "TelemetryConfig",
     "Partition",
     "build_partitioned_system",
     "quadrants",

@@ -8,6 +8,9 @@ Usage::
     python -m repro.harness table1 --check    # audit invariants while running
     python -m repro.harness check             # monitored clean variant sweep
     python -m repro.harness inject            # seeded fault-injection campaign
+    python -m repro.harness trace --workload fft    # telemetry: Perfetto
+                                              # trace + metric time series
+    python -m repro.harness profile           # kernel wall-time profile
 
 Environment:
     REPRO_SCALE      simulation-length multiplier (default 1.0)
@@ -26,8 +29,15 @@ import os
 import sys
 
 from repro.harness import figures, parallel, render, tables
-from repro.harness.experiment import RunSpec, crash_dir, default_workloads
+from repro.harness.experiment import (
+    RunSpec,
+    crash_dir,
+    default_workloads,
+    last_telemetry,
+    run_experiment,
+)
 from repro.sim.config import Variant
+from repro.telemetry import TelemetryConfig
 
 
 def _workloads(args) -> list:
@@ -151,6 +161,73 @@ def cmd_inject(args) -> int:
     return 0
 
 
+def _parse_variant(name: str):
+    try:
+        return Variant(name)
+    except ValueError:
+        choices = ", ".join(v.value for v in Variant)
+        print(f"error: unknown variant {name!r} (choose from {choices})",
+              file=sys.stderr)
+        return None
+
+
+def _observed_run(args, variant, config: TelemetryConfig):
+    """Run one telemetry-enabled experiment; returns (result, info)."""
+    spec = RunSpec(args.cores, variant, args.workload, args.seed,
+                   telemetry=config)
+    result = run_experiment(spec)
+    return result, last_telemetry()
+
+
+def cmd_trace(args) -> int:
+    """Telemetry-enabled baseline vs. reactive run: Chrome-trace JSON
+    (Perfetto-loadable), metric time series, latency breakdown."""
+    variant = _parse_variant(args.variant)
+    if variant is None:
+        return 2
+    config = TelemetryConfig(
+        interval=args.interval, profile=False,
+        per_router=args.per_router,
+    )
+    variants = [Variant.BASELINE]
+    if variant is not Variant.BASELINE:
+        variants.append(variant)
+    print(f"Telemetry trace: {args.workload}, {args.cores} cores, "
+          f"sampling every {config.interval} cycles")
+    for v in variants:
+        result, info = _observed_run(args, v, config)
+        telem = info["telemetry"]
+        registry = telem.registry
+        replies = result.counter("circuit.replies_total")
+        hits = result.counter("circuit.outcome.on_circuit")
+        print(f"\n== {v.value}: {result.exec_cycles} cycles, "
+              f"{len(registry)} samples x {len(registry.names())} streams, "
+              f"circuit hit rate "
+              f"{hits / replies if replies else 0.0:.1%} ==")
+        print(telem.spans.breakdown_table())
+        for kind, path in sorted(info["paths"].items()):
+            print(f"  {kind:12s} {path}")
+    print("\nload a trace at https://ui.perfetto.dev (Open trace file)")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Kernel self-profile of one run: wall-time and ticks per component
+    class, plus activity-driven skip effectiveness."""
+    variant = _parse_variant(args.variant)
+    if variant is None:
+        return 2
+    config = TelemetryConfig(
+        metrics=False, spans=False, interval=args.interval,
+    )
+    result, info = _observed_run(args, variant, config)
+    print(f"Kernel profile: {variant.value}, {args.workload}, "
+          f"{args.cores} cores, {result.exec_cycles} cycles")
+    print(info["telemetry"].profiler.table())
+    print(f"  report: {info['paths']['profile']}")
+    return 0
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "table5": cmd_table5,
@@ -200,7 +277,8 @@ def main(argv=None) -> int:
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument("what", nargs="?", default=None,
-                        choices=list(COMMANDS) + ["all", "check", "inject"])
+                        choices=list(COMMANDS) + ["all", "check", "inject",
+                                                  "trace", "profile"])
     parser.add_argument("--cores", type=int, default=16,
                         help="chip size (16 or 64; default 16)")
     parser.add_argument("--seed", type=int, default=1)
@@ -223,6 +301,17 @@ def main(argv=None) -> int:
                              "instead of recording a failure result")
     parser.add_argument("--cycles", type=int, default=None,
                         help="cycles per clean-sweep run (check command)")
+    parser.add_argument("--workload", default="fft",
+                        help="workload for trace/profile (default fft)")
+    parser.add_argument("--variant", default=Variant.COMPLETE_NOACK.value,
+                        help="circuit variant for trace/profile "
+                             "(default Complete_NoAck)")
+    parser.add_argument("--interval", type=int, default=1000,
+                        help="telemetry sampling cadence in cycles "
+                             "(trace/profile; default 1000)")
+    parser.add_argument("--per-router", dest="per_router",
+                        action="store_true",
+                        help="trace: one buffer-occupancy stream per router")
     args = parser.parse_args(argv)
     try:
         jobs = parallel.resolve_jobs(args.jobs)
@@ -233,6 +322,10 @@ def main(argv=None) -> int:
         return cmd_inject(args)
     if args.what == "check" or (args.what is None and args.check):
         return cmd_check(args)
+    if args.what == "trace":
+        return cmd_trace(args)
+    if args.what == "profile":
+        return cmd_profile(args)
     if args.what is None:
         parser.error("nothing to do: name a table/figure, or use "
                      "--check / --inject")

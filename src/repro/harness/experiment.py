@@ -24,7 +24,9 @@ from repro.cpu.workloads import ALL_WORKLOADS, workload_by_name
 from repro.harness.cache import ResultCache
 from repro.power.energy import network_energy
 from repro.sim.config import SystemConfig, Variant
+from repro.sim.stats import Histogram, Stats
 from repro.system import build_system
+from repro.telemetry import Telemetry, TelemetryConfig
 
 #: Baseline measurement quantum (instructions per core) at scale 1.0.
 MEASURE_INSTRUCTIONS = 3_000
@@ -99,6 +101,11 @@ class RunSpec:
     seed: int = 1
     measure_instructions: int = MEASURE_INSTRUCTIONS
     warmup_instructions: int = WARMUP_INSTRUCTIONS
+    #: Attach a :class:`~repro.telemetry.Telemetry` bundle to the measured
+    #: phase.  Telemetry is observation-only (results are bit-identical),
+    #: so this field is deliberately NOT part of :meth:`key`: observed and
+    #: unobserved runs share cache entries.
+    telemetry: Optional[TelemetryConfig] = None
 
     def scaled(self) -> "RunSpec":
         factor = scale()
@@ -108,12 +115,24 @@ class RunSpec:
             self.n_cores, self.variant, self.workload, self.seed,
             max(200, int(self.measure_instructions * factor)),
             max(100, int(self.warmup_instructions * factor)),
+            self.telemetry,
         )
 
     def key(self) -> str:
         return (
             f"{self.n_cores}/{self.variant.value}/{self.workload}/{self.seed}/"
             f"{self.measure_instructions}/{self.warmup_instructions}"
+        )
+
+    @property
+    def observed(self) -> bool:
+        return self.telemetry is not None and self.telemetry.enabled
+
+    def label(self) -> str:
+        """Filesystem-safe name for telemetry artifacts of this run."""
+        return (
+            f"{self.variant.value}_{self.workload}_{self.n_cores}c"
+            f"_s{self.seed}"
         )
 
 
@@ -135,6 +154,9 @@ class RunResult:
     counters: Dict[str, int] = field(default_factory=dict)
     means: Dict[str, float] = field(default_factory=dict)
     outcomes: Dict[str, float] = field(default_factory=dict)
+    #: Full latency distributions, JSON-serialised (string bucket keys);
+    #: use :meth:`histogram` / :meth:`percentile` to query them.
+    histograms: Dict[str, dict] = field(default_factory=dict)
     energy_dynamic: float = 0.0
     energy_static: float = 0.0
     error: Optional[str] = None
@@ -155,6 +177,35 @@ class RunResult:
     def mean(self, key: str) -> float:
         return self.means.get(key, 0.0)
 
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        return {
+            key: value
+            for key, value in self.counters.items()
+            if key.startswith(prefix)
+        }
+
+    def histogram(self, key: str) -> Optional[Histogram]:
+        """The recorded distribution for ``key`` (None if not recorded)."""
+        data = self.histograms.get(key)
+        if data is None:
+            return None
+        hist = Histogram(data.get("bucket_width", 1))
+        hist.count = data["count"]
+        hist.buckets = {int(b): n for b, n in data["buckets"].items()}
+        return hist
+
+    def percentile(self, key: str, p: float) -> float:
+        """Percentile ``p`` of the recorded distribution for ``key``.
+
+        Prefers the full histogram; results loaded from pre-histogram
+        cache entries fall back to the precomputed ``<key>.p<p>`` means
+        (0.0 when neither exists).
+        """
+        hist = self.histogram(key)
+        if hist is not None:
+            return hist.percentile(p)
+        return self.means.get(f"{key}.p{int(p)}", 0.0)
+
     def to_json(self) -> dict:
         return self.__dict__.copy()
 
@@ -164,6 +215,28 @@ class RunResult:
 
 
 _memo: Dict[str, RunResult] = {}
+
+#: Instruments + artifact paths of the most recent telemetry-enabled run
+#: in this process (the CLI ``trace``/``profile`` commands read it).
+_last_telemetry: Optional[dict] = None
+
+
+def last_telemetry() -> Optional[dict]:
+    """``{"telemetry": Telemetry, "paths": {...}, "spec_key": str}`` of the
+    most recent observed run, or None if none ran in this process."""
+    return _last_telemetry
+
+
+def _serialize_histograms(stats: Stats) -> Dict[str, dict]:
+    """Stats histograms -> the JSON-stable shape RunResult carries."""
+    return {
+        key: {
+            "bucket_width": hist.bucket_width,
+            "count": hist.count,
+            "buckets": {str(b): n for b, n in hist.buckets.items()},
+        }
+        for key, hist in stats.histograms.items()
+    }
 
 
 def _disk_cache() -> Optional[ResultCache]:
@@ -205,12 +278,16 @@ def run_experiment(spec: RunSpec) -> RunResult:
     """
     spec = spec.scaled()
     key = spec.key()
-    if key in _memo:
-        return _memo[key]
-    cached = _load_disk(key)
-    if cached is not None:
-        _memo[key] = cached
-        return cached
+    if not spec.observed:
+        # Observed runs bypass the cache READ on purpose: their whole
+        # point is regenerating trace/metric artifacts.  Results stay
+        # bit-identical, so they still land in the same cache entries.
+        if key in _memo:
+            return _memo[key]
+        cached = _load_disk(key)
+        if cached is not None:
+            _memo[key] = cached
+            return cached
 
     config = SystemConfig(n_cores=spec.n_cores, seed=spec.seed).with_variant(
         spec.variant
@@ -226,8 +303,24 @@ def run_experiment(spec: RunSpec) -> RunResult:
         ).attach(system.sim)
     if spec.warmup_instructions:
         system.warmup(spec.warmup_instructions)
+    telem: Optional[Telemetry] = None
+    if spec.observed:
+        # After warmup: warmup ends with a stats reset, which would
+        # corrupt the interval-delta probes.
+        telem = Telemetry(spec.telemetry).attach(system)
     start = system.sim.cycle
-    finish = system.run_instructions(spec.measure_instructions)
+    try:
+        finish = system.run_instructions(spec.measure_instructions)
+    finally:
+        if telem is not None:
+            telem.detach()
+    if telem is not None:
+        global _last_telemetry
+        _last_telemetry = {
+            "telemetry": telem,
+            "paths": telem.export(spec.label()),
+            "spec_key": key,
+        }
     exec_cycles = finish - start
     energy = network_energy(config, system.stats, exec_cycles)
     means = {k: m.mean for k, m in system.stats.means.items()}
@@ -245,6 +338,7 @@ def run_experiment(spec: RunSpec) -> RunResult:
         counters=dict(system.stats.counters),
         means=means,
         outcomes={o.value: f for o, f in outcome_fractions(system.stats).items()},
+        histograms=_serialize_histograms(system.stats),
         energy_dynamic=energy.dynamic,
         energy_static=energy.static,
     )
@@ -371,6 +465,7 @@ def compare_variants(workload: str, n_cores: int = 16,
             "speedup": base.exec_cycles / result.exec_cycles,
             "energy_vs_baseline": result.energy_total / base.energy_total,
             "reply_latency": result.mean("lat.net.crep"),
+            "reply_latency_p95": result.percentile("lat.net.crep", 95),
             "circuit_success": (
                 result.counter("circuit.outcome.on_circuit") / replies
                 if replies else 0.0

@@ -106,18 +106,25 @@ def figure6(workloads: List[str], n_cores: int, seed: int = 1
 
 
 def figure7(workloads: List[str], n_cores: int, seed: int = 1
-            ) -> Dict[str, Dict[str, Tuple[float, float]]]:
-    """Message latency (network, queueing) by class per variant."""
-    out: Dict[str, Dict[str, Tuple[float, float]]] = {}
+            ) -> Dict[str, Dict[str, Tuple[float, float, float]]]:
+    """Message latency by class per variant.
+
+    Per class: (mean network latency, mean queueing latency, network
+    latency p95), workload-averaged.  The p95 comes from the full
+    distributions that :meth:`RunResult.percentile` now carries, so the
+    tail is measured, not approximated from means.
+    """
+    out: Dict[str, Dict[str, Tuple[float, float, float]]] = {}
     for variant in FIG7_VARIANTS:
-        per_class = {cls: [0.0, 0.0] for cls in ("req", "crep", "norep")}
+        per_class = {cls: [0.0, 0.0, 0.0] for cls in ("req", "crep", "norep")}
         for workload in workloads:
             result = _run(RunSpec(n_cores, variant, workload, seed))
             for cls in per_class:
                 per_class[cls][0] += result.mean(f"lat.net.{cls}")
                 per_class[cls][1] += result.mean(f"lat.queue.{cls}")
+                per_class[cls][2] += result.percentile(f"lat.net.{cls}", 95)
         out[variant.value] = {
-            cls: (vals[0] / len(workloads), vals[1] / len(workloads))
+            cls: tuple(value / len(workloads) for value in vals)
             for cls, vals in per_class.items()
         }
     return out

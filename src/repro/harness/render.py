@@ -67,15 +67,25 @@ def render_figure6(data: Mapping[str, Mapping[str, float]]) -> str:
     return format_table(headers, rows)
 
 
-def render_figure7(data: Mapping[str, Mapping[str, Tuple[float, float]]]) -> str:
-    headers = ["variant", "req net+q", "circuit-rep net+q", "no-circuit net+q"]
+def render_figure7(
+    data: Mapping[str, Mapping[str, Tuple[float, ...]]]
+) -> str:
+    headers = ["variant", "req net+q", "circuit-rep net+q",
+               "no-circuit net+q", "crep p95"]
+
+    def cell(values: Tuple[float, ...]) -> str:
+        return "{:.1f}+{:.1f}".format(values[0], values[1])
+
     rows = []
     for variant, classes in data.items():
+        crep = classes["crep"]
+        p95 = f"{crep[2]:.1f}" if len(crep) > 2 else "-"
         rows.append([
             variant,
-            "{:.1f}+{:.1f}".format(*classes["req"]),
-            "{:.1f}+{:.1f}".format(*classes["crep"]),
-            "{:.1f}+{:.1f}".format(*classes["norep"]),
+            cell(classes["req"]),
+            cell(crep),
+            cell(classes["norep"]),
+            p95,
         ])
     return format_table(headers, rows)
 

@@ -37,10 +37,9 @@ TABLE6_PAPER = {
 def _message_counts(results: Iterable[RunResult]) -> Dict[str, int]:
     total: Dict[str, int] = {}
     for result in results:
-        for key, value in result.counters.items():
-            if key.startswith("msg.count."):
-                kind = key[len("msg.count."):]
-                total[kind] = total.get(kind, 0) + value
+        for key, value in result.counters_with_prefix("msg.count.").items():
+            kind = key[len("msg.count."):]
+            total[kind] = total.get(kind, 0) + value
     return total
 
 

@@ -1,149 +1,68 @@
-"""Debug and visualisation helpers for the NoC.
+"""Deprecated: these helpers moved to :mod:`repro.telemetry`.
 
-* :func:`attach_tracer` streams every crossbar traversal to a callback or
-  a log list - invaluable when debugging circuit reservations.
-* :func:`utilization_heatmap` renders per-router crossbar activity as an
-  ASCII grid, showing where traffic (and therefore contention)
-  concentrates on the mesh.
-* :func:`sleep_report` summarises the activity-driven kernel's wake/sleep
-  state - who is asleep, until when, and how much ticking was skipped.
+This module now only re-exports the interactive probes from
+:mod:`repro.telemetry.probes` behind :class:`DeprecationWarning` shims so
+pre-telemetry callers keep working.  New code should use the unified
+observation API::
+
+    from repro.telemetry import attach_tracer, sleep_report, ...
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+import warnings
 
-from repro.noc.network import Network
+from repro.telemetry import probes as _probes
+from repro.telemetry.probes import TraceEvent  # noqa: F401  (re-export)
 
-TraceEvent = Tuple[int, int, str, str, int]  # cycle, node, port, kind, uid
-
-
-def attach_tracer(net: Network,
-                  callback: Optional[Callable] = None) -> List[TraceEvent]:
-    """Attach a flit tracer to every router of ``net``.
-
-    With no callback, events are appended to the returned list as
-    ``(cycle, node, out_port, msg kind, msg uid)`` tuples.  Pass an
-    explicit callback for custom handling (it receives the raw
-    ``(cycle, router, out_port, flit)``).
-
-    Tracers compose: attaching while another tracer is installed chains
-    the new hook after the existing one instead of replacing it, and
-    :func:`detach_tracer` pops only the most recent attachment.
-    """
-    events: List[TraceEvent] = []
-
-    def default(cycle, router, out_port, flit):
-        events.append(
-            (cycle, router.node, out_port.name, flit.msg.kind, flit.msg.uid)
-        )
-
-    hook = callback if callback is not None else default
-    for router in net.routers:
-        previous = router.tracer
-
-        def chained(cycle, r, out_port, flit, _prev=previous, _hook=hook):
-            if _prev is not None:
-                _prev(cycle, r, out_port, flit)
-            _hook(cycle, r, out_port, flit)
-
-        chained._prev_tracer = previous
-        router.tracer = chained
-    return events
+__all__ = [
+    "TraceEvent",
+    "attach_tracer",
+    "detach_tracer",
+    "utilization_heatmap",
+    "reset_utilization",
+    "sleep_report",
+    "LoadSampler",
+]
 
 
-def detach_tracer(net: Network) -> None:
-    """Detach the most recently attached tracer, restoring its predecessor."""
-    for router in net.routers:
-        router.tracer = getattr(router.tracer, "_prev_tracer", None)
+def _warn(name: str) -> None:
+    warnings.warn(
+        f"repro.noc.debug.{name} moved to repro.telemetry.{name}; "
+        f"the repro.noc.debug shim will be removed in a future release",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-def utilization_heatmap(net: Network, width: int = 6) -> str:
-    """ASCII grid of per-router crossbar traversal counts."""
-    side = net.mesh.side
-    peak = max((r.forwarded for r in net.routers), default=0) or 1
-    lines = [f"crossbar traversals per router (peak {peak})"]
-    for y in range(side):
-        cells = []
-        for x in range(side):
-            router = net.routers[net.mesh.node_at(x, y)]
-            cells.append(str(router.forwarded).rjust(width))
-        lines.append("".join(cells))
-    return "\n".join(lines)
+def attach_tracer(net, callback=None):
+    _warn("attach_tracer")
+    return _probes.attach_tracer(net, callback)
 
 
-def reset_utilization(net: Network) -> None:
-    for router in net.routers:
-        router.forwarded = 0
+def detach_tracer(net):
+    _warn("detach_tracer")
+    return _probes.detach_tracer(net)
 
 
-def sleep_report(sim) -> str:
-    """Summarise a Simulator's activity-driven sleep state.
-
-    One line per sleeping component (class + node when available, with
-    its scheduled wake cycle or ``ext`` for externally-woken sleepers),
-    preceded by the aggregate skip counters.  Intended for interactive
-    debugging and deadlock forensics: a component that should be working
-    but shows up here points straight at broken wake bookkeeping.
-    """
-    sleepers = sim.sleeping_slots()
-    lines = [
-        f"cycle {sim.cycle}: {len(sleepers)} asleep, "
-        f"{sim.ticks_run} ticks run, {sim.cycles_skipped} cycles "
-        f"skipped (skip ratio {sim.skip_ratio():.3f})"
-    ]
-    for component, wake_at in sleepers:
-        name = type(component).__name__
-        node = getattr(component, "node", None)
-        label = name if node is None else f"{name}[{node}]"
-        due = "ext" if wake_at is None else f"@{wake_at}"
-        lines.append(f"  {label} {due}")
-    return "\n".join(lines)
+def utilization_heatmap(net, width: int = 6):
+    _warn("utilization_heatmap")
+    return _probes.utilization_heatmap(net, width)
 
 
-class LoadSampler:
-    """Periodic sampler of network activity (a Clocked component).
+def reset_utilization(net):
+    _warn("reset_utilization")
+    return _probes.reset_utilization(net)
 
-    Add to a simulator (``sim.add(LoadSampler(net))``) to record injected
-    flits per interval - the time series behind "the network is lightly
-    loaded" style claims (the paper quotes < 4 flits/100 cycles/node).
-    """
 
-    def __init__(self, net: Network, interval: int = 100) -> None:
-        if interval < 1:
-            raise ValueError("interval must be positive")
-        self.net = net
-        self.interval = interval
-        self.samples: List[float] = []
-        self._last_count = 0
+def sleep_report(sim):
+    _warn("sleep_report")
+    return _probes.sleep_report(sim)
 
-    def tick(self, cycle: int) -> None:
-        if cycle == 0 or cycle % self.interval:
-            return
-        count = self.net.stats.counter("noc.flits_injected")
-        delta = count - self._last_count
-        self._last_count = count
-        self.samples.append(delta / self.net.mesh.n_nodes)
 
-    def next_wake(self, cycle: int) -> int:
-        """Sleep until the next sampling boundary (counters accumulate
-        in the stats object regardless, so skipped cycles lose nothing)."""
-        return cycle + self.interval - cycle % self.interval
+class LoadSampler(_probes.LoadSampler):
+    """Deprecated alias of :class:`repro.telemetry.LoadSampler`."""
 
-    def mean_load(self) -> float:
-        """Average injected flits per interval per node."""
-        if not self.samples:
-            return 0.0
-        return sum(self.samples) / len(self.samples)
-
-    def sparkline(self, width: int = 60) -> str:
-        """Compact ASCII time series of the per-node load."""
-        if not self.samples:
-            return "(no samples)"
-        ramp = " .:-=+*#%@"
-        data = self.samples[-width:]
-        peak = max(data) or 1.0
-        chars = [ramp[min(len(ramp) - 1, int(v / peak * (len(ramp) - 1)))]
-                 for v in data]
-        return ("".join(chars)
-                + f"  (peak {peak:.2f} flits/{self.interval}cyc/node)")
+    def __init__(self, net, interval: int = 100) -> None:
+        _warn("LoadSampler")
+        super().__init__(net, interval)

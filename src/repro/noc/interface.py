@@ -79,6 +79,10 @@ class NetworkInterface:
         # Ejection.
         self._rx_counts: Dict[int, int] = {}
         self.deliver: Optional[Callable[[Message, int], None]] = None
+        #: Optional telemetry span recorder (``repro.telemetry``); hooks
+        #: are guarded by ``observer is not None`` so detached telemetry
+        #: costs one attribute test per event site.
+        self.observer = None
         #: Flits/credits in flight toward this NI (link watcher).
         self.incoming = 0
         #: Set by the simulator kernel; links and the protocol layer poke
@@ -92,6 +96,8 @@ class NetworkInterface:
         """Hand a message to the NI (injectable from the next cycle on)."""
         msg.enqueued_cycle = cycle
         self.stats.bump("noc.msgs_enqueued")
+        if self.observer is not None:
+            self.observer.ni_enqueue(self, msg, cycle)
         if msg.vn == 0:
             self.req_queue.append(msg)
         else:
@@ -241,6 +247,8 @@ class NetworkInterface:
             msg = self.reply_pending.popleft()
             plan = self.policy.plan_reply(self, msg, cycle)
             msg.plan = plan
+            if self.observer is not None:
+                self.observer.ni_plan(self, msg, plan, cycle)
             if plan.kind == "circuit":
                 heapq.heappush(
                     self.held, (max(plan.release, cycle), self._seq, msg)
@@ -277,6 +285,8 @@ class NetworkInterface:
             self.policy.record_outcome(self, msg, plan, cycle)
             msg.injected_cycle = cycle
             msg.queue_acc += cycle - msg.enqueued_cycle
+            if self.observer is not None:
+                self.observer.ni_inject(self, msg, cycle, circuit=True)
             act = _ActiveSend(msg, 1, plan.dst_vc, circuit=True)
             for flit in act.flits:
                 flit.on_circuit = True
@@ -339,6 +349,8 @@ class NetworkInterface:
             plan = msg.plan
             if plan is not None:
                 self.policy.record_outcome(self, msg, plan, cycle)
+        if self.observer is not None:
+            self.observer.ni_inject(self, msg, cycle, circuit=False)
         act = _ActiveSend(msg, vn, vc, circuit=False)
         self.active_packet[vn] = act
         return act
@@ -365,15 +377,19 @@ class NetworkInterface:
             msg.uses_circuit = False
             msg.plan = None
             msg.enqueued_cycle = cycle
+            if self.observer is not None:
+                self.observer.ni_relay(self, msg, cycle)
             self.reply_pending.append(msg)
             return
-        self._record_latency(msg)
+        cls = self._record_latency(msg)
+        if self.observer is not None:
+            self.observer.ni_eject(self, msg, cycle, cls)
         if msg.builds_circuit:
             self.policy.on_request_delivered(self, msg, cycle)
         if self.deliver is not None:
             self.deliver(msg, cycle)
 
-    def _record_latency(self, msg: Message) -> None:
+    def _record_latency(self, msg: Message) -> str:
         if msg.vn == 0:
             cls = "req"
         elif msg.circuit_eligible:
@@ -385,3 +401,4 @@ class NetworkInterface:
         self.stats.bump(f"msg.count.{msg.kind}")
         self.stats.bump("noc.msgs_delivered")
         self.stats.bump(f"noc.flits_delivered", msg.n_flits)
+        return cls

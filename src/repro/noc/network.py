@@ -164,6 +164,19 @@ class Network:
             if ni.credit_out is not None:
                 yield f"ni{ni.node}.eject_credit", ni.credit_out
 
+    def buffered_flits(self) -> int:
+        """Flits sitting in router input buffers chip-wide (occupancy)."""
+        return sum(router.buffered_flits() for router in self.routers)
+
+    def buffered_flits_by_vn(self) -> List[int]:
+        """Router input-buffer occupancy split by virtual network."""
+        totals = [0] * len(self.config.noc.vcs_per_vn)
+        for router in self.routers:
+            for unit in router.inputs.values():
+                for vn, row in enumerate(unit.vcs):
+                    totals[vn] += sum(len(vc.buffer) for vc in row)
+        return totals
+
     def circuit_entries(self) -> int:
         """Raw circuit-table occupancy (may include expired timed entries)."""
         return sum(router.circuit_entries() for router in self.routers)

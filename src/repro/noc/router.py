@@ -135,6 +135,10 @@ class Router:
         self.forwarded = 0
         #: Optional debug tracer: fn(cycle, router, out_port, flit).
         self.tracer = None
+        #: Optional telemetry span recorder (``repro.telemetry``); hooks
+        #: are guarded by ``observer is not None`` so detached telemetry
+        #: costs one attribute test per event site.
+        self.observer = None
         #: Set by the simulator kernel; links poke it with arrival cycles
         #: so a sleeping router wakes exactly when traffic reaches it.
         self.kernel_wake = None
@@ -327,6 +331,8 @@ class Router:
                 continue
             for flit in link.arrivals(cycle):
                 if self.policy.handle_arrival(self, port, flit, cycle):
+                    if self.observer is not None:
+                        self.observer.router_circuit_hit(self, flit, cycle)
                     continue
                 self._buffer_flit(port, flit, cycle)
 
@@ -470,6 +476,8 @@ class Router:
             if head.msg.builds_circuit and vn == 0:
                 # Circuit reservation happens in parallel with VA (sec. 4.1).
                 self.policy.on_request_va(self, port, head.msg, cycle)
+                if self.observer is not None:
+                    self.observer.router_reservation(self, head.msg, cycle)
 
     # ------------------------------------------------------------------
     # Introspection used by tests.

@@ -90,7 +90,7 @@ class DeadlockError(SimulationError):
 class _Slot:
     """Kernel bookkeeping for one registered component."""
 
-    __slots__ = ("component", "order", "awake", "wake_at", "next_wake")
+    __slots__ = ("component", "order", "awake", "wake_at", "next_wake", "tick")
 
     def __init__(self, component: Clocked, order: int) -> None:
         self.component = component
@@ -101,6 +101,10 @@ class _Slot:
         self.wake_at: Optional[int] = None
         #: Bound ``component.next_wake`` or None for plain Clocked objects.
         self.next_wake = getattr(component, "next_wake", None)
+        #: Bound ``component.tick``; the hot loops call through this slot
+        #: attribute so instrumentation (the telemetry kernel profiler)
+        #: can interpose a timing wrapper without touching the component.
+        self.tick = component.tick
 
 
 class Simulator:
@@ -218,7 +222,7 @@ class Simulator:
         cycle = self.cycle
         if self._always_tick:
             for slot in self._slots:
-                slot.component.tick(cycle)
+                slot.tick(cycle)
             self.ticks_run += len(self._slots)
         else:
             self._step_awake(cycle)
@@ -249,7 +253,7 @@ class Simulator:
         wake_bound = cycle + 1
         slept = False
         for slot in awake:
-            slot.component.tick(cycle)
+            slot.tick(cycle)
             next_wake = slot.next_wake
             if next_wake is None:
                 continue
@@ -302,7 +306,7 @@ class Simulator:
             while self.cycle < target:
                 cycle = self.cycle
                 for slot in slots:
-                    slot.component.tick(cycle)
+                    slot.tick(cycle)
                 self.ticks_run += n_slots
                 for hook in hooks:
                     hook(cycle)

@@ -36,21 +36,39 @@ class MeanStat:
 
 
 class Histogram:
-    """Sparse integer-bucket histogram with percentile queries."""
+    """Sparse fixed-width-bucket histogram with percentile queries.
 
-    __slots__ = ("buckets", "count")
+    Values are collapsed onto a bucket grid at ``add()`` time: a sample
+    ``v`` lands in bucket ``int(v / bucket_width)``, so with the default
+    ``bucket_width`` of 1 every value is truncated to its integer part
+    and percentile/mean/max answers are exact only to whole units
+    (integer-cycle latencies lose nothing).  Pass a finer
+    ``bucket_width`` (e.g. 0.25) when sub-unit resolution matters -
+    percentile answers are then exact to that granularity.  All query
+    methods report a bucket's lower edge (``bucket * bucket_width``).
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("buckets", "count", "bucket_width")
+
+    def __init__(self, bucket_width: float = 1) -> None:
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
         self.buckets: Dict[int, int] = {}
         self.count = 0
+        self.bucket_width = bucket_width
 
     def add(self, value: float) -> None:
-        bucket = int(value)
+        bucket = int(value / self.bucket_width)
         self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
         self.count += 1
 
     def percentile(self, p: float) -> float:
-        """Value at percentile ``p`` in [0, 100] (0 for empty histograms)."""
+        """Value at percentile ``p`` in [0, 100] (0 for empty histograms).
+
+        Answers snap to the bucket grid documented in the class
+        docstring: the returned value is the lower edge of the bucket
+        containing the requested rank.
+        """
         if not self.count:
             return 0.0
         if not 0.0 <= p <= 100.0:
@@ -60,20 +78,28 @@ class Histogram:
         for bucket in sorted(self.buckets):
             seen += self.buckets[bucket]
             if seen >= target:
-                return float(bucket)
-        return float(max(self.buckets))
+                return bucket * self.bucket_width
+        return max(self.buckets) * self.bucket_width
 
     @property
     def mean(self) -> float:
         if not self.count:
             return 0.0
-        return sum(b * n for b, n in self.buckets.items()) / self.count
+        width = self.bucket_width
+        return sum(b * width * n for b, n in self.buckets.items()) / self.count
 
     @property
     def max(self) -> float:
-        return float(max(self.buckets)) if self.buckets else 0.0
+        if not self.buckets:
+            return 0.0
+        return max(self.buckets) * self.bucket_width
 
     def merge(self, other: "Histogram") -> None:
+        if other.bucket_width != self.bucket_width:
+            raise ValueError(
+                f"cannot merge histograms with different bucket widths "
+                f"({self.bucket_width} vs {other.bucket_width})"
+            )
         for bucket, n in other.buckets.items():
             self.buckets[bucket] = self.buckets.get(bucket, 0) + n
         self.count += other.count

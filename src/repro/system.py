@@ -148,6 +148,16 @@ class CmpSystem:
     def run_cycles(self, cycles: int) -> None:
         self.sim.run(cycles)
 
+    def controller_backlog(self) -> int:
+        """Scheduled-but-unexecuted controller actions chip-wide
+        (telemetry probe: pressure inside the coherence layer)."""
+        total = 0
+        for tile in self.tiles:
+            total += tile.l1.pending_events() + tile.l2.pending_events()
+            if tile.mc is not None:
+                total += tile.mc.pending_events()
+        return total
+
     def _deadlock_context(self, cycle: int) -> str:
         """Extra context for DeadlockError messages (watchdog hook)."""
         return (

@@ -1,0 +1,177 @@
+"""Kernel self-profiler: where does simulator wall-time go?
+
+Attaches to a :class:`~repro.sim.kernel.Simulator` by swapping each
+registered slot's bound ``tick`` (``_Slot.tick``, the indirection the hot
+loops call) for a timing wrapper, so attribution needs no cooperation
+from - and adds no cost to - the components themselves.  Detaching
+restores the original bound methods, leaving the simulator exactly as it
+was.
+
+The report aggregates per component *class* and per architectural
+*group* (router / ni / coherence / driver), and pairs the wall-time
+split with the activity-driven kernel's effectiveness counters
+(ticks run vs. cycles skipped) - exactly the numbers the next
+optimisation PR needs to pick its target.
+
+Profiled runs are bit-identical to unprofiled ones (the wrapper calls
+the original tick with unchanged arguments); only wall-time changes,
+which is why the A/B tests compare stats, not seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+#: Component class -> architectural group of the profiler report.
+GROUP_OF = {
+    "Router": "router",
+    "NetworkInterface": "ni",
+    "L1Controller": "coherence",
+    "L2BankController": "coherence",
+    "MemoryController": "coherence",
+    "Core": "driver",
+    "RequestReplyTraffic": "driver",
+}
+
+
+class _Cell:
+    """Mutable (ticks, seconds) accumulator shared by one class's slots."""
+
+    __slots__ = ("ticks", "seconds")
+
+    def __init__(self) -> None:
+        self.ticks = 0
+        self.seconds = 0.0
+
+
+class KernelProfiler:
+    """Per-component-class wall-time and tick attribution."""
+
+    def __init__(self) -> None:
+        self._sim = None
+        self._saved: List = []  # (slot, original bound tick)
+        self.cells: Dict[str, _Cell] = {}
+        self.components: Dict[str, int] = {}
+        self.wall_seconds = 0.0
+        self._t0 = 0.0
+        self._ticks0 = 0
+        self._skipped0 = 0
+        self._cycle0 = 0
+        self.ticks_run = 0
+        self.cycles_skipped = 0
+        self.cycles = 0
+
+    def attach(self, sim) -> "KernelProfiler":
+        if self._sim is not None:
+            raise RuntimeError("profiler already attached")
+        self._sim = sim
+        perf = time.perf_counter
+        for slot in sim._slots:
+            name = type(slot.component).__name__
+            cell = self.cells.setdefault(name, _Cell())
+            self.components[name] = self.components.get(name, 0) + 1
+            original = slot.tick
+
+            def timed(cycle, _tick=original, _cell=cell, _perf=perf):
+                start = _perf()
+                _tick(cycle)
+                _cell.seconds += _perf() - start
+                _cell.ticks += 1
+
+            self._saved.append((slot, original))
+            slot.tick = timed
+        self._t0 = perf()
+        self._ticks0 = sim.ticks_run
+        self._skipped0 = sim.cycles_skipped
+        self._cycle0 = sim.cycle
+        return self
+
+    def detach(self) -> None:
+        sim = self._sim
+        if sim is None:
+            return
+        self.wall_seconds += time.perf_counter() - self._t0
+        self.ticks_run += sim.ticks_run - self._ticks0
+        self.cycles_skipped += sim.cycles_skipped - self._skipped0
+        self.cycles += sim.cycle - self._cycle0
+        for slot, original in self._saved:
+            slot.tick = original
+        self._saved.clear()
+        self._sim = None
+
+    # -- reporting -----------------------------------------------------
+    def report(self) -> dict:
+        """Attribution as plain data (classes, groups, kernel counters)."""
+        if self._sim is not None:  # live snapshot without detaching
+            wall = self.wall_seconds + (time.perf_counter() - self._t0)
+            ticks = self.ticks_run + (self._sim.ticks_run - self._ticks0)
+            skipped = (self.cycles_skipped
+                       + (self._sim.cycles_skipped - self._skipped0))
+            cycles = self.cycles + (self._sim.cycle - self._cycle0)
+        else:
+            wall = self.wall_seconds
+            ticks = self.ticks_run
+            skipped = self.cycles_skipped
+            cycles = self.cycles
+        ticked = sum(cell.seconds for cell in self.cells.values())
+        classes = {}
+        groups: Dict[str, Dict[str, float]] = {}
+        for name, cell in sorted(
+            self.cells.items(), key=lambda item: -item[1].seconds
+        ):
+            group = GROUP_OF.get(name, "other")
+            classes[name] = {
+                "group": group,
+                "components": self.components[name],
+                "ticks": cell.ticks,
+                "seconds": cell.seconds,
+                "share": cell.seconds / wall if wall else 0.0,
+            }
+            agg = groups.setdefault(group, {"ticks": 0, "seconds": 0.0})
+            agg["ticks"] += cell.ticks
+            agg["seconds"] += cell.seconds
+        for agg in groups.values():
+            agg["share"] = agg["seconds"] / wall if wall else 0.0
+        possible = ticks + skipped
+        return {
+            "wall_seconds": wall,
+            "kernel_seconds": max(wall - ticked, 0.0),
+            "cycles": cycles,
+            "ticks_run": ticks,
+            "cycles_skipped": skipped,
+            "skip_ratio": skipped / possible if possible else 0.0,
+            "classes": classes,
+            "groups": groups,
+        }
+
+    def table(self) -> str:
+        """The report as an ASCII table (CLI ``profile`` output)."""
+        report = self.report()
+        header = (
+            f"{'class':<22}{'group':<11}{'n':>5}{'ticks':>12}"
+            f"{'seconds':>10}{'share':>8}"
+        )
+        lines = [header, "-" * len(header)]
+        for name, row in report["classes"].items():
+            lines.append(
+                f"{name:<22}{row['group']:<11}{row['components']:>5}"
+                f"{row['ticks']:>12}{row['seconds']:>10.3f}"
+                f"{row['share']:>8.1%}"
+            )
+        lines.append("-" * len(header))
+        for group, row in sorted(
+            report["groups"].items(), key=lambda item: -item[1]["seconds"]
+        ):
+            lines.append(
+                f"{'':<22}{group:<11}{'':>5}{row['ticks']:>12}"
+                f"{row['seconds']:>10.3f}{row['share']:>8.1%}"
+            )
+        lines.append(
+            f"kernel overhead {report['kernel_seconds']:.3f}s of "
+            f"{report['wall_seconds']:.3f}s wall; "
+            f"{report['ticks_run']} ticks over {report['cycles']} cycles, "
+            f"{report['cycles_skipped']} component-cycles skipped "
+            f"(skip ratio {report['skip_ratio']:.3f})"
+        )
+        return "\n".join(lines)

@@ -10,7 +10,7 @@ actionable crash report:
   it, which names the deadlocked resource loop directly;
 * a **structured JSON report** (counters, blocked VCs with ages, NI
   queue depths, live circuit entries, optional coherence state);
-* an **ASCII mesh dump** reusing :func:`repro.noc.debug.utilization_heatmap`.
+* an **ASCII mesh dump** reusing :func:`repro.telemetry.utilization_heatmap`.
 
 Reports are saved under ``out/crash/<spec>.json`` by the parallel
 harness so a million-run campaign never loses a failure silently.
@@ -188,7 +188,7 @@ def crash_report(
     spec_key: Optional[str] = None,
 ) -> CrashReport:
     """Build a :class:`CrashReport` from a frozen network/system."""
-    from repro.noc.debug import utilization_heatmap
+    from repro.telemetry import utilization_heatmap
 
     if cycle is None:
         cycle = getattr(error, "cycle", None)

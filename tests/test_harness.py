@@ -162,3 +162,9 @@ def test_run_result_carries_latency_percentiles():
     assert 0 < p50 <= p95 <= p99
     # tail latency is at least the median, and mean sits near the middle
     assert p99 >= result.mean("lat.net.crep") * 0.8
+    # the full distribution rides along: percentile() answers any p
+    assert result.histogram("lat.net.crep").count > 0
+    assert result.percentile("lat.net.crep", 95) == p95
+    assert result.percentile("lat.net.crep", 50) <= result.percentile(
+        "lat.net.crep", 99.9
+    )

@@ -53,3 +53,32 @@ def test_all_commands_registered():
         "table1", "table5", "table6",
         "fig6", "fig7", "fig8", "fig9", "fig10",
     }
+
+
+def test_cli_trace_writes_artifacts(capsys, monkeypatch, tmp_path):
+    monkeypatch.chdir(tmp_path)
+    assert main(["trace", "--workload", "fft", "--interval", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "Baseline" in out and "Complete_NoAck" in out
+    assert "circuit hit rate" in out
+    assert "perfetto" in out
+    traces = list((tmp_path / "out" / "trace").glob("*.json"))
+    assert len(traces) == 2  # one per variant
+    csvs = list((tmp_path / "out" / "telemetry").glob("*_metrics.csv"))
+    assert len(csvs) == 2
+    header = csvs[0].read_text().splitlines()[0].split(",")
+    assert "circuit_hit_rate" in header and len(header) >= 6
+
+
+def test_cli_profile_prints_component_table(capsys, monkeypatch, tmp_path):
+    monkeypatch.chdir(tmp_path)
+    assert main(["profile", "--workload", "fft"]) == 0
+    out = capsys.readouterr().out
+    assert "Kernel profile" in out
+    assert "Router" in out and "coherence" in out
+    assert "skip ratio" in out
+
+
+def test_cli_trace_rejects_unknown_variant(capsys):
+    assert main(["trace", "--variant", "NoSuchVariant"]) == 2
+    assert "unknown variant" in capsys.readouterr().err

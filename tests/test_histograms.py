@@ -80,3 +80,41 @@ def test_stats_merge_histograms():
     b.record("lat", 9)
     a.merge(b)
     assert a.percentile("lat", 100) == 9
+
+
+# ----------------------------------------------------------------------
+# bucket_width: sub-unit values must not be silently collapsed.
+# ----------------------------------------------------------------------
+def test_default_bucket_width_truncates_to_integers():
+    h = Histogram()
+    h.add(1.9)
+    assert h.percentile(100) == 1  # documented: bucket lower edge
+
+
+def test_fractional_bucket_width_keeps_subunit_resolution():
+    h = Histogram(bucket_width=0.25)
+    for v in (0.1, 0.3, 0.6, 0.9):
+        h.add(v)
+    assert h.percentile(100) == 0.75  # bucket int(0.9/0.25)=3 -> 0.75
+    assert h.percentile(1) == 0.0
+    assert h.max == 0.75
+    assert abs(h.mean - (0.0 + 0.25 + 0.5 + 0.75) / 4) < 1e-12
+
+
+def test_bucket_width_validation_and_merge_mismatch():
+    with pytest.raises(ValueError):
+        Histogram(bucket_width=0)
+    with pytest.raises(ValueError):
+        Histogram(bucket_width=-1)
+    a, b = Histogram(), Histogram(bucket_width=0.5)
+    b.add(1)
+    with pytest.raises(ValueError, match="bucket width"):
+        a.merge(b)
+
+
+def test_wide_buckets_coarsen_explicitly():
+    h = Histogram(bucket_width=10)
+    for v in (1, 9, 11, 19):
+        h.add(v)
+    assert h.percentile(50) == 0  # both 1 and 9 land in bucket 0
+    assert h.percentile(100) == 10
