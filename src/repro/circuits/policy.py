@@ -14,11 +14,11 @@ system.  It owns all behaviour that differs between the paper's variants:
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING, Set, Tuple
+from typing import Dict, Optional, TYPE_CHECKING, Set, Tuple
 
 from repro.circuits.table import CircuitEntry, CircuitTable, CircuitWalk, HopRecord
 from repro.noc.flit import CircuitKey, Flit, Message
-from repro.noc.routing import route_for_vn
+from repro.noc.link import Credit
 from repro.noc.topology import Mesh, Port
 from repro.noc.vc import VcStage
 from repro.sim.config import CircuitMode, SystemConfig
@@ -88,6 +88,17 @@ class CircuitPolicy:
 
     name = "baseline"
 
+    #: Static per-class flags the fast router pipeline uses to skip the
+    #: per-flit ``handle_arrival`` / ``on_tail_departure`` calls entirely
+    #: when a variant leaves them as the base-class no-ops.
+    handles_arrivals = False
+    handles_tails = False
+    #: Cheap precondition the fast pipeline hoists in front of the
+    #: ``handle_arrival`` call, mirroring the hook's own first-line early
+    #: return: ``"on_circuit"`` (complete/ideal) or ``"reply_keyed"``
+    #: (fragmented: reply VN with a circuit key).  ``None`` = always call.
+    arrival_filter = None
+
     def __init__(self, config: SystemConfig, mesh: Mesh, stats: Stats) -> None:
         self.config = config
         self.circuit = config.circuit
@@ -96,6 +107,42 @@ class CircuitPolicy:
         self.noc = config.noc
         self._vn0_vcs = tuple(range(config.noc.vcs_per_vn[0]))
         self._vn1_vcs = tuple(range(config.noc.vcs_per_vn[1]))
+        # Hot per-flit counters, batched exactly like the router's (a
+        # registered Stats flusher drains them at read boundaries; zero
+        # deltas are never written so counter keys match unbatched runs).
+        self._c_flit_hops = 0
+        self._c_entries_used = 0
+        self._c_buffer_writes = 0
+        self._c_conflict_waits = 0
+        self._c_reservations = 0
+        self._c_reservation_failed = 0
+        self._c_ordinals: Dict[int, int] = {}
+        stats.add_flusher(self._flush_counters)
+
+    def _flush_counters(self) -> None:
+        counters = self.stats.counters
+        if self._c_flit_hops:
+            counters["circuit.flit_hops"] += self._c_flit_hops
+            self._c_flit_hops = 0
+        if self._c_entries_used:
+            counters["circuit.entries_used"] += self._c_entries_used
+            self._c_entries_used = 0
+        if self._c_buffer_writes:
+            counters["noc.buffer_writes"] += self._c_buffer_writes
+            self._c_buffer_writes = 0
+        if self._c_conflict_waits:
+            counters["circuit.ideal_conflict_waits"] += self._c_conflict_waits
+            self._c_conflict_waits = 0
+        if self._c_reservations:
+            counters["circuit.reservations"] += self._c_reservations
+            self._c_reservations = 0
+        if self._c_reservation_failed:
+            counters["circuit.reservation_failed"] += self._c_reservation_failed
+            self._c_reservation_failed = 0
+        if self._c_ordinals:
+            for ordinal, n in self._c_ordinals.items():
+                counters[f"circuit.reservation_ordinal.{ordinal}"] += n
+            self._c_ordinals.clear()
 
     # -- static router shape -------------------------------------------
     def bufferless_vcs(self) -> Set[Tuple[int, int]]:
@@ -187,8 +234,10 @@ class _TablePolicy(CircuitPolicy):
     """Shared machinery for policies that store circuit state at routers."""
 
     def attach_router(self, router: "Router") -> None:
-        for unit in router.inputs.values():
-            unit.circuit_table = CircuitTable(self.circuit.max_circuits_per_input)
+        for port in router.ports:
+            router.inputs[port].circuit_table = CircuitTable(
+                self.circuit.max_circuits_per_input
+            )
 
     # -- walks -----------------------------------------------------------
     def on_request_injected(self, ni: "NetworkInterface", msg: Message, cycle: int) -> None:
@@ -248,9 +297,7 @@ class _TablePolicy(CircuitPolicy):
         same port the request left by, and leaves through the port the
         request arrived on (LOCAL at the path's end routers).
         """
-        request_out = route_for_vn(self.mesh, 0, router.node, msg.dest,
-                                   self.noc.request_xy)
-        return request_out, in_port
+        return router.route_vn(0, msg.dest), in_port
 
     def _record_hop(self, walk: CircuitWalk, router: "Router", circ_in: Port,
                     circ_out: Port, reserved: bool, vc_index: Optional[int] = None,
@@ -267,6 +314,8 @@ class CompletePolicy(_TablePolicy):
     optional timed windows, ACK elimination, and circuit reuse."""
 
     name = "complete"
+    handles_arrivals = True
+    arrival_filter = "on_circuit"
 
     #: Reply VN VC dedicated to circuits (its buffers are removed).
     CIRCUIT_VC = 1
@@ -290,7 +339,8 @@ class CompletePolicy(_TablePolicy):
         table = router.inputs[circ_in].circuit_table
         assert table is not None
         window = self._window_for(router, msg, walk, cycle)
-        ok = table.live_count(cycle) < table.capacity
+        live = table.live_count(cycle)
+        ok = live < table.capacity
         if ok:
             ok = self._no_conflict(router, circ_in, circ_out, window, cycle)
             if not ok and self.circuit.allow_delay and window is not None:
@@ -311,9 +361,12 @@ class CompletePolicy(_TablePolicy):
         table.insert(entry)
         self._record_hop(walk, router, circ_in, circ_out, True,
                          window=window or (None, None))
-        ordinal = min(table.live_count(cycle), table.capacity)
-        self.stats.bump(f"circuit.reservation_ordinal.{ordinal}")
-        self.stats.bump("circuit.reservations")
+        # ``live`` was purged above and the new entry is live, so the
+        # post-insert live count is exactly ``live + 1``.
+        ordinal = min(live + 1, table.capacity)
+        ords = self._c_ordinals
+        ords[ordinal] = ords.get(ordinal, 0) + 1
+        self._c_reservations += 1
 
     def _window_for(self, router: "Router", msg: Message, walk: CircuitWalk,
                     cycle: int) -> Optional[Tuple[int, int]]:
@@ -345,10 +398,10 @@ class CompletePolicy(_TablePolicy):
                      window: Optional[Tuple[int, int]], cycle: int) -> bool:
         """Two circuits with different inputs may not share an output
         (simultaneously for untimed, with overlapping windows for timed)."""
-        for port, unit in router.inputs.items():
+        for port, unit in router._input_units:
             if port is circ_in or unit.circuit_table is None:
                 continue
-            for entry in list(unit.circuit_table.entries.values()):
+            for entry in unit.circuit_table.entries.values():
                 if entry.out_port is not circ_out or not entry.live(cycle):
                     continue
                 if window is None or not entry.timed:
@@ -376,7 +429,7 @@ class CompletePolicy(_TablePolicy):
                    circ_out: Port, cycle: int) -> None:
         walk.failed = True
         self._record_hop(walk, router, circ_in, circ_out, False)
-        self.stats.bump("circuit.reservation_failed")
+        self._c_reservation_failed += 1
         if any(h.reserved for h in walk.hops) and circ_out is not Port.LOCAL:
             router.send_undo(circ_out, walk.key, cycle)
             walk.aborted = True
@@ -449,7 +502,12 @@ class CompletePolicy(_TablePolicy):
         msg = flit.msg
         key = msg.ride_key if msg.ride_key is not None else msg.circuit_key
         table = router.inputs[port].circuit_table
-        entry = table.lookup(key, cycle) if table is not None else None
+        # Inlined CircuitTable.lookup (per-circuit-flit hot path).
+        entry = table.entries.get(key) if table is not None else None
+        if entry is not None and entry.window_end is not None \
+                and entry.window_end < cycle:
+            del table.entries[key]
+            entry = None
         if entry is None:
             raise SimulationError(
                 f"circuit flit {flit!r} found no entry at router "
@@ -461,10 +519,73 @@ class CompletePolicy(_TablePolicy):
                 f"{port.name} -> {entry.out_port.name}"
             )
         router.forward_flit(entry.out_port, flit, cycle)
-        self.stats.bump("circuit.flit_hops")
+        self._c_flit_hops += 1
         if flit.is_tail and msg.ride_key is None:
             table.remove(key)
-            self.stats.bump("circuit.entries_used")
+            self._c_entries_used += 1
+        return True
+
+    def handle_arrival_fast(self, router: "Router", port: Port, flit: Flit,
+                            cycle: int) -> bool:
+        """Flattened twin of :meth:`handle_arrival` for the fast router.
+
+        The caller already applied the ``on_circuit`` pre-filter, and the
+        router helper calls (claim_path, forward_flit) are inlined per
+        circuit flit; the A/B suite holds the two paths bit-identical.
+        """
+        msg = flit.msg
+        key = msg.ride_key if msg.ride_key is not None else msg.circuit_key
+        table = router.inputs[port].circuit_table
+        # Inlined CircuitTable.lookup.
+        entry = table.entries.get(key) if table is not None else None
+        if entry is not None and entry.window_end is not None \
+                and entry.window_end < cycle:
+            del table.entries[key]
+            entry = None
+        if entry is None:
+            raise SimulationError(
+                f"circuit flit {flit!r} found no entry at router "
+                f"{router.node} port {port.name} (key={key})"
+            )
+        out = entry.out_port
+        # Inlined claim_path; fault injection patches it per instance, so
+        # the bit tests only replace an *unpatched* method.
+        patched = router.__dict__.get("claim_path")
+        if patched is None:
+            out_bit = 1 << out
+            in_bit = 1 << port
+            if (router._out_claimed & out_bit) or (router._in_claimed & in_bit):
+                claimed = False
+            else:
+                router._out_claimed |= out_bit
+                router._in_claimed |= in_bit
+                claimed = True
+        else:
+            claimed = patched(port, out)
+        if not claimed:
+            raise SimulationError(
+                f"complete-circuit collision at router {router.node}: "
+                f"{port.name} -> {out.name}"
+            )
+        # Inlined forward_flit (link send + batched counters).
+        link = router.out_flit[out]
+        due = cycle + 1 + link.latency
+        link._queue.append((due, flit))
+        watcher = link.watcher
+        if watcher is not None:
+            watcher.incoming += 1
+            wake = watcher.kernel_wake
+            if wake is not None:
+                wake(due)
+        router.forwarded += 1
+        router._c_xbar += 1
+        router._c_link += 1
+        if router.tracer is not None:
+            router.tracer(cycle, router, out, flit)
+        self._c_flit_hops += 1
+        if flit.is_tail and msg.ride_key is None:
+            table.remove(key)
+            self._c_entries_used += 1
         return True
 
 
@@ -478,6 +599,9 @@ class FragmentedPolicy(_TablePolicy):
     """
 
     name = "fragmented"
+    handles_arrivals = True
+    handles_tails = True
+    arrival_filter = "reply_keyed"
 
     #: Fragmented circuit VCs keep their buffers, so circuit-path flits
     #: participate in normal credit flow control (unlike complete circuits).
@@ -498,11 +622,24 @@ class FragmentedPolicy(_TablePolicy):
         circ_in, circ_out = self._circuit_ports(router, in_port, msg)
         table = router.inputs[circ_in].circuit_table
         assert table is not None
-        used = {e.vc_index for e in table.entries.values()}
-        free = [i for i in self._circuit_vc_indexes if i not in used]
-        if not free or len(table.entries) >= table.capacity:
+        # First free circuit VC without the used-set/list comprehensions
+        # (same result: lowest index in _circuit_vc_indexes not taken).
+        entries = table.entries
+        free_vc = None
+        if len(entries) < table.capacity:
+            if entries:
+                used = {e.vc_index for e in entries.values()}
+                for i in self._circuit_vc_indexes:
+                    if i not in used:
+                        free_vc = i
+                        break
+            else:
+                idxs = self._circuit_vc_indexes
+                if idxs:
+                    free_vc = idxs[0]
+        if free_vc is None:
             self._record_hop(walk, router, circ_in, circ_out, False)
-            self.stats.bump("circuit.reservation_failed")
+            self._c_reservation_failed += 1
             return
         prev = walk.previous_hop()
         if prev is None:
@@ -515,15 +652,16 @@ class FragmentedPolicy(_TablePolicy):
             in_port=circ_in,
             out_port=circ_out,
             built_cycle=cycle,
-            vc_index=free[0],
+            vc_index=free_vc,
             fwd_reserved=fwd_reserved,
             fwd_vc=fwd_vc,
         )
         table.insert(entry)
-        self._record_hop(walk, router, circ_in, circ_out, True, vc_index=free[0])
+        self._record_hop(walk, router, circ_in, circ_out, True, vc_index=free_vc)
         ordinal = min(len(table.entries), table.capacity)
-        self.stats.bump(f"circuit.reservation_ordinal.{ordinal}")
-        self.stats.bump("circuit.reservations")
+        ords = self._c_ordinals
+        ords[ordinal] = ords.get(ordinal, 0) + 1
+        self._c_reservations += 1
 
     # -- reply-side ---------------------------------------------------------
     def plan_reply(self, ni: "NetworkInterface", msg: Message, cycle: int) -> ReplyPlan:
@@ -552,15 +690,127 @@ class FragmentedPolicy(_TablePolicy):
         msg = flit.msg
         if msg.vn != 1 or msg.circuit_key is None:
             return False
-        table = router.inputs[port].circuit_table
-        entry = table.lookup(msg.circuit_key, cycle) if table is not None else None
+        unit = router.inputs[port]
+        table = unit.circuit_table
+        if table is None:
+            return False
+        # Inlined CircuitTable.lookup (per-reply-flit hot path).
+        key = msg.circuit_key
+        entry = table.entries.get(key)
         if entry is None:
             return False
-        vc = router.vc(port, 1, entry.vc_index)
+        if entry.window_end is not None and entry.window_end < cycle:
+            del table.entries[key]
+            return False
+        vc = unit.vcs[1][entry.vc_index]
         if not vc.buffer and self._try_fly(router, port, entry, flit, cycle):
             if flit.is_tail:
                 self._release_entry(router, port, entry, vc, cycle)
             return True
+        self._buffer_on_circuit_vc(router, port, entry, vc, flit, cycle)
+        return True
+
+    def handle_arrival_fast(self, router: "Router", port: Port, flit: Flit,
+                            cycle: int) -> bool:
+        """Flattened twin of :meth:`handle_arrival` + :meth:`_try_fly`.
+
+        Bound by the fast router (which already applied the reply-VN /
+        circuit-key pre-filter); the lookup, eligibility checks,
+        claim_path, forward_flit, and return_credit bodies are inlined in
+        one pass per circuit flit.  The branch conditions and their order
+        mirror ``_try_fly`` exactly, so the A/B suite holds the two paths
+        bit-identical.
+        """
+        msg = flit.msg
+        unit = router.inputs[port]
+        table = unit.circuit_table
+        if table is None:
+            return False
+        key = msg.circuit_key
+        entry = table.entries.get(key)
+        if entry is None:
+            return False
+        if entry.window_end is not None and entry.window_end < cycle:
+            del table.entries[key]
+            return False
+        vc = unit.vcs[1][entry.vc_index]
+        if not vc.buffer:
+            arrival_vc = flit.dst_vc
+            out = entry.out_port
+            out_vc = None
+            token = None
+            new_dst = 0
+            if out is Port.LOCAL:
+                eligible = True
+            elif entry.fwd_reserved and entry.fwd_vc is not None:
+                out_vc = router.outputs[out].vcs[1][entry.fwd_vc]
+                eligible = out_vc.credits > 0
+                new_dst = entry.fwd_vc
+            else:
+                # Downstream hop not reserved: the flit continues packet-
+                # switched in the downstream VC0, owned like a VA would.
+                out_vc = router.outputs[out].vcs[1][0]
+                token = ("frag", msg.uid)
+                eligible = (out_vc.allocated_to in (None, token)
+                            and out_vc.credits > 0)
+            if eligible:
+                # Inlined claim_path (patch-aware, as in the router's ST).
+                patched = router.__dict__.get("claim_path")
+                if patched is None:
+                    out_bit = 1 << out
+                    in_bit = 1 << port
+                    if (router._out_claimed & out_bit) or \
+                            (router._in_claimed & in_bit):
+                        eligible = False
+                    else:
+                        router._out_claimed |= out_bit
+                        router._in_claimed |= in_bit
+                else:
+                    eligible = patched(port, out)
+            if eligible:
+                if out_vc is not None:
+                    if token is not None:
+                        out_vc.allocated_to = token
+                    out_vc.credits -= 1
+                    flit.dst_vc = new_dst
+                # Inlined forward_flit.
+                link = router.out_flit[out]
+                due = cycle + 1 + link.latency
+                link._queue.append((due, flit))
+                watcher = link.watcher
+                if watcher is not None:
+                    watcher.incoming += 1
+                    wake = watcher.kernel_wake
+                    if wake is not None:
+                        wake(due)
+                router.forwarded += 1
+                router._c_xbar += 1
+                router._c_link += 1
+                if router.tracer is not None:
+                    router.tracer(cycle, router, out, flit)
+                if token is not None and flit.is_tail:
+                    out_vc.allocated_to = None
+                # The flit never occupied our buffer: return its credit
+                # immediately (inlined return_credit, cached-credit push).
+                clink = router.out_credit[port]
+                cache = clink._cache
+                ckey = (1 << 8) | arrival_vc
+                credit = cache.get(ckey)
+                if credit is None:
+                    credit = cache[ckey] = Credit(1, arrival_vc)
+                due = cycle + 1 + clink.latency
+                clink._queue.append((due, credit))
+                watcher = clink.watcher
+                if watcher is not None:
+                    watcher.incoming += 1
+                    wake = watcher.kernel_wake
+                    if wake is not None:
+                        wake(due)
+                router._c_credits += 1
+                self._c_flit_hops += 1
+                if flit.is_tail:
+                    self._release_entry(router, port, entry, vc, cycle)
+                return True
         self._buffer_on_circuit_vc(router, port, entry, vc, flit, cycle)
         return True
 
@@ -596,7 +846,7 @@ class FragmentedPolicy(_TablePolicy):
                 out_vc.allocated_to = None
         # The flit never occupied our buffer: return its credit immediately.
         router.return_credit(port, 1, arrival_vc, cycle)
-        self.stats.bump("circuit.flit_hops")
+        self._c_flit_hops += 1
         return True
 
     def _buffer_on_circuit_vc(self, router: "Router", port: Port,
@@ -605,7 +855,7 @@ class FragmentedPolicy(_TablePolicy):
         # joins the reserved circuit VC, and the credit it owes upstream
         # (recorded per flit) is returned when it leaves this router.
         vc.buffer.append((flit, cycle, flit.dst_vc))
-        self.stats.bump("noc.buffer_writes")
+        self._c_buffer_writes += 1
         if vc.stage is VcStage.IDLE:
             vc.route = entry.out_port
             router.vc_became_busy(port, vc)
@@ -615,12 +865,14 @@ class FragmentedPolicy(_TablePolicy):
             ):
                 vc.stage = VcStage.ACTIVE
                 vc.out_vc = entry.fwd_vc if entry.fwd_vc is not None else 0
+                vc.out_obj = router.output_vc(entry.out_port, 1, vc.out_vc)
             else:
                 out_vc = router.output_vc(entry.out_port, 1, 0)
                 token = ("frag", flit.msg.uid)
                 if out_vc.allocated_to == token:
                     vc.stage = VcStage.ACTIVE
                     vc.out_vc = 0
+                    vc.out_obj = out_vc
                 else:
                     vc.stage = VcStage.VA
 
@@ -628,7 +880,7 @@ class FragmentedPolicy(_TablePolicy):
                        vc, cycle: int) -> None:
         table = router.inputs[port].circuit_table
         table.remove(entry.key)
-        self.stats.bump("circuit.entries_used")
+        self._c_entries_used += 1
         if vc.stage is not VcStage.IDLE and not vc.buffer:
             vc.reset_for_next_packet(cycle)
             if vc.stage is VcStage.IDLE:
@@ -641,7 +893,7 @@ class FragmentedPolicy(_TablePolicy):
             return
         table = router.inputs[in_port].circuit_table
         if table is not None and table.remove(key) is not None:
-            self.stats.bump("circuit.entries_used")
+            self._c_entries_used += 1
 
 
 class IdealPolicy(CircuitPolicy):
@@ -649,6 +901,8 @@ class IdealPolicy(CircuitPolicy):
     conflicts cost one buffered cycle instead of failing the circuit."""
 
     name = "ideal"
+    handles_arrivals = True
+    arrival_filter = "on_circuit"
 
     def _guarantees_delivery(self) -> bool:
         # The ideal network delivers every circuit reply at circuit speed,
@@ -669,13 +923,13 @@ class IdealPolicy(CircuitPolicy):
         if unit.wait_queue or not self._try_forward(router, port, flit, cycle):
             unit.wait_queue.append(flit)
             router._waiting += 1
-            self.stats.bump("circuit.ideal_conflict_waits")
+            self._c_conflict_waits += 1
         return True
 
     def retry_waiting(self, router: "Router", cycle: int) -> None:
         if not router._waiting:
             return
-        for port, unit in router.inputs.items():
+        for port, unit in router._input_units:
             while unit.wait_queue:
                 if self._try_forward(router, port, unit.wait_queue[0], cycle):
                     unit.wait_queue.pop(0)
@@ -688,7 +942,7 @@ class IdealPolicy(CircuitPolicy):
         if not router.claim_path(port, out):
             return False
         router.forward_flit(out, flit, cycle)
-        self.stats.bump("circuit.flit_hops")
+        self._c_flit_hops += 1
         return True
 
 

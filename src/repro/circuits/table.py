@@ -81,9 +81,20 @@ class CircuitTable:
 
     def purge_expired(self, cycle: int) -> None:
         """Drop entries whose timed window has passed."""
-        dead = [k for k, e in self.entries.items() if not e.live(cycle)]
-        for key in dead:
-            del self.entries[key]
+        entries = self.entries
+        if not entries:
+            return
+        dead = None
+        for key, entry in entries.items():
+            end = entry.window_end
+            if end is not None and end < cycle:
+                if dead is None:
+                    dead = [key]
+                else:
+                    dead.append(key)
+        if dead is not None:
+            for key in dead:
+                del entries[key]
 
     def live_count(self, cycle: int) -> int:
         """Number of still-live entries (purges expired ones first)."""

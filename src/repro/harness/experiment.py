@@ -335,7 +335,7 @@ def run_experiment(spec: RunSpec) -> RunResult:
         variant=spec.variant.value,
         workload=spec.workload,
         exec_cycles=exec_cycles,
-        counters=dict(system.stats.counters),
+        counters=dict(system.stats.counters),  # flushed by run/drain
         means=means,
         outcomes={o.value: f for o, f in outcome_fractions(system.stats).items()},
         histograms=_serialize_histograms(system.stats),

@@ -3,17 +3,82 @@
 The baseline router (paper Table 4) uses round-robin two-phase allocators:
 phase 1 arbitrates among a unit's own candidates, phase 2 arbitrates among
 phase-1 winners competing for the same resource.
+
+Two implementations live here.  :class:`RoundRobinArbiter` and
+:func:`two_phase_allocate` are the optimised hot-path versions (index
+rotation, no per-arbitration list copies, single-requester bypass).
+:class:`ReferenceRoundRobinArbiter` and
+:func:`reference_two_phase_allocate` preserve the pre-overhaul
+implementations verbatim; the reference router pipeline uses them so A/B
+tests can prove the fast paths grant-for-grant identical.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, TypeVar
+from typing import Dict, Hashable, List, Optional, Sequence, Type, TypeVar
 
 T = TypeVar("T")
 
 
 class RoundRobinArbiter:
-    """Classic rotating-priority arbiter over opaque candidate ids."""
+    """Classic rotating-priority arbiter over opaque candidate ids.
+
+    Decision-identical to :class:`ReferenceRoundRobinArbiter` (the A/B
+    property test in ``tests/test_hotpath_equivalence.py`` pins it), but
+    rotates via ``candidates.index`` plus one integer increment instead
+    of materialising two list copies per arbitration.
+    """
+
+    __slots__ = ("_last",)
+
+    def __init__(self) -> None:
+        self._last: Optional[Hashable] = None
+
+    def pick(self, candidates: Sequence[T]) -> Optional[T]:
+        """Grant one candidate, rotating priority after each grant."""
+        n = len(candidates)
+        if not n:
+            return None
+        last = self._last
+        if last is None:
+            winner = candidates[0]
+        else:
+            try:
+                win = candidates.index(last) + 1
+            except ValueError:
+                # The previous winner is no longer a candidate, so there is
+                # no position to rotate from: priority restarts at the first
+                # candidate in submission order (the winner still becomes
+                # the new rotation point, keeping future grants fair).
+                winner = candidates[0]
+            else:
+                winner = candidates[0] if win == n else candidates[win]
+        self._last = winner
+        return winner
+
+    def pick_at(self, candidates: Sequence[T]) -> int:
+        """Like :meth:`pick` but return the winner's *index*.
+
+        Callers holding a parallel payload list (the allocation stages)
+        avoid a second ``index`` scan.  ``candidates`` must be non-empty.
+        """
+        last = self._last
+        if last is None:
+            win = 0
+        else:
+            try:
+                win = candidates.index(last) + 1
+            except ValueError:
+                win = 0
+            else:
+                if win == len(candidates):
+                    win = 0
+        self._last = candidates[win]
+        return win
+
+
+class ReferenceRoundRobinArbiter:
+    """Pre-overhaul arbiter, kept verbatim for A/B reference runs."""
 
     def __init__(self) -> None:
         self._last: Optional[Hashable] = None
@@ -24,11 +89,9 @@ class RoundRobinArbiter:
             return None
         if self._last is not None and self._last in candidates:
             start = (list(candidates).index(self._last) + 1) % len(candidates)
-        elif self._last is not None:
-            # Keep rotating fairness even when the previous winner is absent:
-            # start from the first candidate "after" it in submission order.
-            start = 0
         else:
+            # Previous winner absent (or no grant yet): restart priority at
+            # the first candidate in submission order.
             start = 0
         ordered = list(candidates[start:]) + list(candidates[:start])
         winner = ordered[0]
@@ -37,15 +100,18 @@ class RoundRobinArbiter:
 
 
 class ArbiterPool:
-    """Lazy map of resource id -> RoundRobinArbiter."""
+    """Lazy map of resource id -> arbiter."""
 
-    def __init__(self) -> None:
-        self._arbiters: Dict[Hashable, RoundRobinArbiter] = {}
+    __slots__ = ("_arbiters", "_factory")
+
+    def __init__(self, factory: Type = RoundRobinArbiter) -> None:
+        self._arbiters: Dict[Hashable, object] = {}
+        self._factory = factory
 
     def pick(self, resource: Hashable, candidates: Sequence[T]) -> Optional[T]:
         arbiter = self._arbiters.get(resource)
         if arbiter is None:
-            arbiter = self._arbiters[resource] = RoundRobinArbiter()
+            arbiter = self._arbiters[resource] = self._factory()
         return arbiter.pick(candidates)
 
 
@@ -60,7 +126,19 @@ def two_phase_allocate(
     each requester picks one resource (round-robin over its options).
     Phase 2: each resource picks one requester.  Returns
     ``{requester: resource}`` for the winners.
+
+    A single requester cannot lose phase 2, so that (uncontended) case
+    bypasses the proposal-dict construction entirely; both arbiters still
+    advance exactly as the full path would, keeping later contended
+    cycles decision-identical.
     """
+    if len(requests) == 1:
+        (requester, resources), = requests.items()
+        choice = phase1.pick(requester, resources)
+        if choice is None:
+            return {}
+        winner = phase2.pick(choice, (requester,))
+        return {winner: choice} if winner is not None else {}
     # Phase 1 - requester-side arbitration among acceptable resources.
     proposals: Dict[Hashable, List[Hashable]] = {}
     for requester, resources in requests.items():
@@ -68,6 +146,25 @@ def two_phase_allocate(
         if choice is not None:
             proposals.setdefault(choice, []).append(requester)
     # Phase 2 - resource-side arbitration among proposers.
+    grants: Dict[Hashable, Hashable] = {}
+    for resource, requesters in proposals.items():
+        winner = phase2.pick(resource, requesters)
+        if winner is not None:
+            grants[winner] = resource
+    return grants
+
+
+def reference_two_phase_allocate(
+    requests: Dict[Hashable, List[Hashable]],
+    phase1: ArbiterPool,
+    phase2: ArbiterPool,
+) -> Dict[Hashable, Hashable]:
+    """Pre-overhaul allocation (no bypass), kept for A/B reference runs."""
+    proposals: Dict[Hashable, List[Hashable]] = {}
+    for requester, resources in requests.items():
+        choice = phase1.pick(requester, resources)
+        if choice is not None:
+            proposals.setdefault(choice, []).append(requester)
     grants: Dict[Hashable, Hashable] = {}
     for resource, requesters in proposals.items():
         winner = phase2.pick(resource, requesters)

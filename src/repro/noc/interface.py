@@ -44,7 +44,14 @@ class _ActiveSend:
 
 
 class NetworkInterface:
-    """Injection/ejection endpoint of one tile."""
+    """Injection/ejection endpoint of one tile.
+
+    This is the optimised hot path: per-flit counters are batched into
+    plain ints (drained into the shared :class:`Stats` by a registered
+    flusher), link drains are inlined, and per-call ``getattr`` lookups
+    are hoisted to construction time.  :class:`ReferenceNetworkInterface`
+    preserves the pre-overhaul per-event implementations for A/B runs.
+    """
 
     def __init__(self, node: int, mesh, config, policy, stats: Stats) -> None:
         self.node = node
@@ -52,6 +59,22 @@ class NetworkInterface:
         self.config = config
         self.policy = policy
         self.stats = stats
+        #: Hoisted from the per-flit circuit-send path (static per policy).
+        self._circuit_credits = getattr(policy, "circuit_credits", False)
+        #: injectable_vcs() is static per policy; cache per VN.
+        self._inject_vcs = tuple(
+            policy.injectable_vcs(vn)
+            for vn in range(len(config.noc.vcs_per_vn))
+        )
+        # Hot counters, batched; see Router._flush_counters for the rules.
+        self._c_enqueued = 0
+        self._c_injected = 0
+        self._c_link = 0
+        self._c_delivered_msgs = 0
+        self._c_delivered_flits = 0
+        #: ``msg.count.<kind>`` key strings, interned on first use.
+        self._kind_keys: Dict[str, str] = {}
+        stats.add_flusher(self._flush_counters)
         # Channels (wired by the Network).
         self.to_router: Optional[FlitLink] = None
         self.from_router: Optional[FlitLink] = None
@@ -89,13 +112,31 @@ class NetworkInterface:
         #: it so a sleeping NI wakes exactly when new work materialises.
         self.kernel_wake = None
 
+    def _flush_counters(self) -> None:
+        counters = self.stats.counters
+        if self._c_enqueued:
+            counters["noc.msgs_enqueued"] += self._c_enqueued
+            self._c_enqueued = 0
+        if self._c_injected:
+            counters["noc.flits_injected"] += self._c_injected
+            self._c_injected = 0
+        if self._c_link:
+            counters["noc.link_flits"] += self._c_link
+            self._c_link = 0
+        if self._c_delivered_msgs:
+            counters["noc.msgs_delivered"] += self._c_delivered_msgs
+            self._c_delivered_msgs = 0
+        if self._c_delivered_flits:
+            counters["noc.flits_delivered"] += self._c_delivered_flits
+            self._c_delivered_flits = 0
+
     # ------------------------------------------------------------------
     # Protocol-facing API.
     # ------------------------------------------------------------------
     def enqueue(self, msg: Message, cycle: int) -> None:
         """Hand a message to the NI (injectable from the next cycle on)."""
         msg.enqueued_cycle = cycle
-        self.stats.bump("noc.msgs_enqueued")
+        self._c_enqueued += 1
         if self.observer is not None:
             self.observer.ni_enqueue(self, msg, cycle)
         if msg.vn == 0:
@@ -144,11 +185,62 @@ class NetworkInterface:
     # Tick.
     # ------------------------------------------------------------------
     def tick(self, cycle: int) -> None:
-        if not self._has_work():
-            return
+        """Plain ``Clocked`` entry point (always-tick mode, direct tests)."""
+        self.tick_wake(cycle)
+
+    def tick_wake(self, cycle: int) -> Optional[int]:
+        """One NI cycle with the link drains and the sleep decision
+        (``next_wake``'s body) inlined - the kernel's fused tick+sleep
+        protocol, see ``_Slot.tick_wake``.  The reference NI keeps the
+        method-per-stage pipeline; A/B tests hold the two bit-identical.
+        """
+        active_packet = self.active_packet
+        # Inlined _has_work() (this guard runs once per awake cycle).
+        # On this exact state next_wake returns None (sleep until poked).
+        if not (
+            self.incoming
+            or self.req_queue
+            or self.reply_pending
+            or self.reply_queue
+            or self.held
+            or self._undo_out
+            or self.active_circuit is not None
+            or active_packet[0] is not None
+            or active_packet[1] is not None
+        ):
+            return None
         if self.incoming:
-            self._pull_credits(cycle)
-            self._pull_ejections(cycle)
+            removed = 0
+            # Inlined credit drain.
+            link = self.credit_in
+            if link is not None:
+                queue = link._queue
+                if queue and queue[0][0] <= cycle:
+                    credits = self.credits
+                    while queue and queue[0][0] <= cycle:
+                        credit = queue.popleft()[1]
+                        removed += 1
+                        vn = credit.vn
+                        if vn is not None:
+                            credits[vn][credit.vc] += 1
+            # Inlined ejection drain.
+            link = self.from_router
+            if link is not None:
+                queue = link._queue
+                if queue and queue[0][0] <= cycle:
+                    rx_counts = self._rx_counts
+                    while queue and queue[0][0] <= cycle:
+                        flit = queue.popleft()[1]
+                        removed += 1
+                        msg = flit.msg
+                        got = rx_counts.get(msg.uid, 0) + 1
+                        if got == msg.n_flits:
+                            rx_counts.pop(msg.uid, None)
+                            self._finish(msg, cycle)
+                        else:
+                            rx_counts[msg.uid] = got
+            if removed:
+                self.incoming -= removed
         if self._undo_out:
             self._flush_undo(cycle)
         if self.reply_pending:
@@ -158,10 +250,34 @@ class NetworkInterface:
             or self.held
             or self.req_queue
             or self.reply_queue
-            or self.active_packet[0] is not None
-            or self.active_packet[1] is not None
+            or active_packet[0] is not None
+            or active_packet[1] is not None
         ):
             self._inject_one_flit(cycle)
+        # -- fused sleep decision (next_wake's body, same order) -----------
+        if (
+            self.req_queue
+            or self.reply_pending
+            or self.reply_queue
+            or self.active_circuit is not None
+            or active_packet[0] is not None
+            or active_packet[1] is not None
+        ):
+            return cycle + 1
+        due: Optional[int] = None
+        if self.incoming:
+            for link in (self.from_router, self.credit_in):
+                if link is not None and link._queue:
+                    arrival = link._queue[0][0]
+                    if due is None or arrival < due:
+                        due = arrival
+        if self.held and (due is None or self.held[0][0] < due):
+            due = self.held[0][0]
+        if self._undo_out:
+            undo_due = min(entry[0] for entry in self._undo_out)
+            if due is None or undo_due < due:
+                due = undo_due
+        return due
 
     def _has_work(self) -> bool:
         return bool(
@@ -209,27 +325,6 @@ class NetworkInterface:
                 due = undo_due
         return due
 
-    def _pull_credits(self, cycle: int) -> None:
-        link = self.credit_in
-        if link is None or not link._queue or link._queue[0][0] > cycle:
-            return
-        for credit in link.arrivals(cycle):
-            if credit.is_buffer_credit:
-                self.credits[credit.vn][credit.vc] += 1
-
-    def _pull_ejections(self, cycle: int) -> None:
-        link = self.from_router
-        if link is None or not link._queue or link._queue[0][0] > cycle:
-            return
-        for flit in link.arrivals(cycle):
-            msg = flit.msg
-            got = self._rx_counts.get(msg.uid, 0) + 1
-            if got == msg.n_flits:
-                self._rx_counts.pop(msg.uid, None)
-                self._finish(msg, cycle)
-            else:
-                self._rx_counts[msg.uid] = got
-
     def _flush_undo(self, cycle: int) -> None:
         if not self._undo_out:
             return
@@ -264,11 +359,40 @@ class NetworkInterface:
             return
         if self._start_circuit(cycle):
             return
+        # Inlined packet advance for both VNs (per-cycle injection hot path).
         first = self._vn_preference
+        active_packet = self.active_packet
+        credits = self.credits
         for vn in (first, 1 - first):
-            if self._advance_packet(vn, cycle):
-                self._vn_preference = 1 - vn
-                return
+            act = active_packet[vn]
+            if act is None:
+                act = self._start_packet(vn, cycle)
+                if act is None:
+                    continue
+            row = credits[act.vn]
+            avc = act.vc
+            if row[avc] <= 0:
+                continue
+            flit = act.flits[act.index]
+            flit.dst_vc = avc
+            act.index += 1
+            row[avc] -= 1
+            # Inlined FlitLink.send (per-flit injection hot path).
+            link = self.to_router
+            due = cycle + 1 + link.latency
+            link._queue.append((due, flit))
+            watcher = link.watcher
+            if watcher is not None:
+                watcher.incoming += 1
+                wake = watcher.kernel_wake
+                if wake is not None:
+                    wake(due)
+            self._c_injected += 1
+            self._c_link += 1
+            if act.done:
+                active_packet[vn] = None
+            self._vn_preference = 1 - vn
+            return
 
     def _start_circuit(self, cycle: int) -> bool:
         while self.held and self.held[0][0] <= cycle:
@@ -298,40 +422,29 @@ class NetworkInterface:
     def _advance_circuit(self, cycle: int) -> None:
         act = self.active_circuit
         assert act is not None
-        needs_credit = getattr(self.policy, "circuit_credits", False)
-        if needs_credit:
+        if self._circuit_credits:
             if self.credits[1][act.vc] <= 0:
                 return
             self.credits[1][act.vc] -= 1
         flit = act.flits[act.index]
         flit.dst_vc = act.vc
         act.index += 1
-        self.to_router.send(flit, cycle)
-        self.stats.bump("noc.flits_injected")
-        self.stats.bump("noc.link_flits")
+        # Inlined FlitLink.send (per-flit injection hot path).
+        link = self.to_router
+        due = cycle + 1 + link.latency
+        link._queue.append((due, flit))
+        watcher = link.watcher
+        if watcher is not None:
+            watcher.incoming += 1
+            wake = watcher.kernel_wake
+            if wake is not None:
+                wake(due)
+        self._c_injected += 1
+        self._c_link += 1
         if act.done:
             self.active_circuit = None
             if act.plan is not None and act.plan.is_scrounger:
                 self.policy.on_scrounger_sent(self, act.plan, cycle)
-
-    def _advance_packet(self, vn: int, cycle: int) -> bool:
-        act = self.active_packet[vn]
-        if act is None:
-            act = self._start_packet(vn, cycle)
-            if act is None:
-                return False
-        if self.credits[act.vn][act.vc] <= 0:
-            return False
-        flit = act.flits[act.index]
-        flit.dst_vc = act.vc
-        act.index += 1
-        self.credits[act.vn][act.vc] -= 1
-        self.to_router.send(flit, cycle)
-        self.stats.bump("noc.flits_injected")
-        self.stats.bump("noc.link_flits")
-        if act.done:
-            self.active_packet[vn] = None
-        return True
 
     def _start_packet(self, vn: int, cycle: int) -> Optional[_ActiveSend]:
         queue = self.req_queue if vn == 0 else self.reply_queue
@@ -356,8 +469,9 @@ class NetworkInterface:
         return act
 
     def _pick_vc(self, vn: int) -> Optional[int]:
-        for vc in self.policy.injectable_vcs(vn):
-            if self.credits[vn][vc] > 0:
+        credits = self.credits[vn]
+        for vc in self._inject_vcs[vn]:
+            if credits[vc] > 0:
                 return vc
         return None
 
@@ -389,6 +503,154 @@ class NetworkInterface:
         if self.deliver is not None:
             self.deliver(msg, cycle)
 
+    #: Static latency-stat keys, precomputed so the per-message path
+    #: builds no f-strings (keys are identical to the formatted ones).
+    _LAT_KEYS = {
+        "req": ("lat.net.req", "lat.queue.req"),
+        "crep": ("lat.net.crep", "lat.queue.crep"),
+        "norep": ("lat.net.norep", "lat.queue.norep"),
+    }
+
+    def _record_latency(self, msg: Message) -> str:
+        if msg.vn == 0:
+            cls = "req"
+        elif msg.circuit_eligible:
+            cls = "crep"
+        else:
+            cls = "norep"
+        net_key, queue_key = self._LAT_KEYS[cls]
+        stats = self.stats
+        stats.record(net_key, msg.net_acc)
+        stats.observe(queue_key, msg.queue_acc)
+        kind = msg.kind
+        kind_keys = self._kind_keys
+        key = kind_keys.get(kind)
+        if key is None:
+            key = kind_keys[kind] = "msg.count." + kind
+        stats.counters[key] += 1
+        self._c_delivered_msgs += 1
+        self._c_delivered_flits += msg.n_flits
+        return cls
+
+
+class ReferenceNetworkInterface(NetworkInterface):
+    """Pre-overhaul NI implementation, kept for A/B equivalence runs.
+
+    Reinstates the per-event ``Stats.bump`` calls, the generator-based
+    link drains and the per-send ``getattr`` policy probe that the fast
+    path hoists or batches.  Built when ``config.noc.fastpath`` is False.
+    """
+
+    #: Opt out of the kernel's fused tick+next_wake protocol: the
+    #: reference pipeline keeps the separate tick / next_wake calls.
+    tick_wake = None
+
+    def tick(self, cycle: int) -> None:
+        """Pre-overhaul tick: one method call per NI stage."""
+        if not self._has_work():
+            return
+        if self.incoming:
+            self._pull_credits(cycle)
+            self._pull_ejections(cycle)
+        if self._undo_out:
+            self._flush_undo(cycle)
+        if self.reply_pending:
+            self._plan_replies(cycle)
+        if (
+            self.active_circuit is not None
+            or self.held
+            or self.req_queue
+            or self.reply_queue
+            or self.active_packet[0] is not None
+            or self.active_packet[1] is not None
+        ):
+            self._inject_one_flit(cycle)
+
+    def enqueue(self, msg: Message, cycle: int) -> None:
+        msg.enqueued_cycle = cycle
+        self.stats.bump("noc.msgs_enqueued")
+        if self.observer is not None:
+            self.observer.ni_enqueue(self, msg, cycle)
+        if msg.vn == 0:
+            self.req_queue.append(msg)
+        else:
+            self.reply_pending.append(msg)
+        if self.kernel_wake is not None:
+            # Injectable (and plannable) from the next cycle on.
+            self.kernel_wake(cycle + 1)
+
+    def _pull_credits(self, cycle: int) -> None:
+        link = self.credit_in
+        if link is None or not link._queue or link._queue[0][0] > cycle:
+            return
+        for credit in link.arrivals(cycle):
+            if credit.is_buffer_credit:
+                self.credits[credit.vn][credit.vc] += 1
+
+    def _pull_ejections(self, cycle: int) -> None:
+        link = self.from_router
+        if link is None or not link._queue or link._queue[0][0] > cycle:
+            return
+        for flit in link.arrivals(cycle):
+            msg = flit.msg
+            got = self._rx_counts.get(msg.uid, 0) + 1
+            if got == msg.n_flits:
+                self._rx_counts.pop(msg.uid, None)
+                self._finish(msg, cycle)
+            else:
+                self._rx_counts[msg.uid] = got
+
+    def _advance_circuit(self, cycle: int) -> None:
+        act = self.active_circuit
+        assert act is not None
+        needs_credit = getattr(self.policy, "circuit_credits", False)
+        if needs_credit:
+            if self.credits[1][act.vc] <= 0:
+                return
+            self.credits[1][act.vc] -= 1
+        flit = act.flits[act.index]
+        flit.dst_vc = act.vc
+        act.index += 1
+        self.to_router.send(flit, cycle)
+        self.stats.bump("noc.flits_injected")
+        self.stats.bump("noc.link_flits")
+        if act.done:
+            self.active_circuit = None
+            if act.plan is not None and act.plan.is_scrounger:
+                self.policy.on_scrounger_sent(self, act.plan, cycle)
+
+    def _inject_one_flit(self, cycle: int) -> None:
+        """Pre-overhaul injection: one method call per arbitration step."""
+        if self.active_circuit is not None:
+            self._advance_circuit(cycle)
+            return
+        if self._start_circuit(cycle):
+            return
+        first = self._vn_preference
+        for vn in (first, 1 - first):
+            if self._advance_packet(vn, cycle):
+                self._vn_preference = 1 - vn
+                return
+
+    def _advance_packet(self, vn: int, cycle: int) -> bool:
+        act = self.active_packet[vn]
+        if act is None:
+            act = self._start_packet(vn, cycle)
+            if act is None:
+                return False
+        if self.credits[act.vn][act.vc] <= 0:
+            return False
+        flit = act.flits[act.index]
+        flit.dst_vc = act.vc
+        act.index += 1
+        self.credits[act.vn][act.vc] -= 1
+        self.to_router.send(flit, cycle)
+        self.stats.bump("noc.flits_injected")
+        self.stats.bump("noc.link_flits")
+        if act.done:
+            self.active_packet[vn] = None
+        return True
+
     def _record_latency(self, msg: Message) -> str:
         if msg.vn == 0:
             cls = "req"
@@ -400,5 +662,5 @@ class NetworkInterface:
         self.stats.observe(f"lat.queue.{cls}", msg.queue_acc)
         self.stats.bump(f"msg.count.{msg.kind}")
         self.stats.bump("noc.msgs_delivered")
-        self.stats.bump(f"noc.flits_delivered", msg.n_flits)
+        self.stats.bump("noc.flits_delivered", msg.n_flits)
         return cls

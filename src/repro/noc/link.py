@@ -42,8 +42,10 @@ class FlitLink:
         self._queue.append((due, flit))
         watcher = self.watcher
         if watcher is not None:
+            # Watchers are always routers/NIs, which define kernel_wake
+            # (None until registered with an activity-driven kernel).
             watcher.incoming += 1
-            wake = getattr(watcher, "kernel_wake", None)
+            wake = watcher.kernel_wake
             if wake is not None:
                 wake(due)
 
@@ -86,12 +88,15 @@ class Credit:
 class CreditLink:
     """Reverse channel returning credits (and undo notices) upstream."""
 
-    __slots__ = ("latency", "_queue", "watcher")
+    __slots__ = ("latency", "_queue", "watcher", "_cache")
 
     def __init__(self, latency: int = 1) -> None:
         self.latency = latency
         self._queue: Deque[Tuple[int, Credit]] = deque()
         self.watcher = None
+        #: Buffer credits are immutable (vn, vc) pairs, so each distinct
+        #: pair is built once and the same object is resent thereafter.
+        self._cache: dict = {}
 
     def send_credit(self, vn: int, vc: int, cycle: int) -> None:
         """Return one buffer credit.
@@ -101,7 +106,11 @@ class CreditLink:
         purely an energy optimisation, so we model it in the energy counters
         rather than in the channel itself.
         """
-        self._push(Credit(vn, vc), cycle)
+        key = (vn << 8) | vc
+        credit = self._cache.get(key)
+        if credit is None:
+            credit = self._cache[key] = Credit(vn, vc)
+        self._push(credit, cycle)
 
     def send_undo(self, key: CircuitKey, cycle: int) -> None:
         """Send an undo notice for ``key`` (dedicated or piggybacked credit)."""
@@ -113,7 +122,7 @@ class CreditLink:
         watcher = self.watcher
         if watcher is not None:
             watcher.incoming += 1
-            wake = getattr(watcher, "kernel_wake", None)
+            wake = watcher.kernel_wake
             if wake is not None:
                 wake(due)
 

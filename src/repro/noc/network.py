@@ -5,9 +5,9 @@ from __future__ import annotations
 from typing import Callable, List, Optional, TYPE_CHECKING
 
 from repro.noc.flit import Message
-from repro.noc.interface import NetworkInterface
+from repro.noc.interface import NetworkInterface, ReferenceNetworkInterface
 from repro.noc.link import CreditLink, FlitLink
-from repro.noc.router import Router
+from repro.noc.router import ReferenceRouter, Router
 from repro.noc.topology import Mesh, Port, opposite
 from repro.sim.stats import Stats
 
@@ -28,12 +28,18 @@ class Network:
         self.stats = stats if stats is not None else Stats()
         self.mesh = Mesh(config.mesh_side)
         self.policy = make_policy(config, self.mesh, self.stats)
+        # ``fastpath=False`` builds the pre-overhaul reference pipeline so
+        # A/B tests can pin the optimised path bit-identical to it.
+        if config.noc.fastpath:
+            router_cls, ni_cls = Router, NetworkInterface
+        else:
+            router_cls, ni_cls = ReferenceRouter, ReferenceNetworkInterface
         self.routers: List[Router] = [
-            Router(node, self.mesh, config, self.policy, self.stats)
+            router_cls(node, self.mesh, config, self.policy, self.stats)
             for node in range(self.mesh.n_nodes)
         ]
         self.interfaces: List[NetworkInterface] = [
-            NetworkInterface(node, self.mesh, config, self.policy, self.stats)
+            ni_cls(node, self.mesh, config, self.policy, self.stats)
             for node in range(self.mesh.n_nodes)
         ]
         self._wire()
@@ -43,7 +49,7 @@ class Network:
         # Router <-> router links.
         for node, router in enumerate(self.routers):
             for port in router.ports:
-                if port is Port.LOCAL or port in router.out_flit:
+                if port is Port.LOCAL or router.out_flit[port] is not None:
                     continue
                 neighbor = self.routers[self.mesh.neighbor(node, port)]
                 back = opposite(port)
@@ -127,11 +133,10 @@ class Network:
             total += router.buffered_flits()
             total += len(router._st_pending)
             for port in router.ports:
-                link = router.out_flit.get(port)
+                link = router.out_flit[port]
                 if link is not None:
                     total += link.in_flight()
-            for unit in router.inputs.values():
-                total += len(unit.wait_queue)
+                total += len(router.inputs[port].wait_queue)
         for ni in self.interfaces:
             total += ni.pending_work()
         return total
@@ -143,8 +148,10 @@ class Network:
         output) and NI injection links.
         """
         for router in self.routers:
-            for port, link in router.out_flit.items():
-                yield f"router{router.node}.out.{port.name}", link
+            for port in router.ports:
+                link = router.out_flit[port]
+                if link is not None:
+                    yield f"router{router.node}.out.{port.name}", link
         for ni in self.interfaces:
             if ni.to_router is not None:
                 yield f"ni{ni.node}.inject", ni.to_router
@@ -158,8 +165,10 @@ class Network:
         channel not owned by a router.
         """
         for router in self.routers:
-            for port, link in router.out_credit.items():
-                yield f"router{router.node}.credit.{port.name}", link
+            for port in router.ports:
+                link = router.out_credit[port]
+                if link is not None:
+                    yield f"router{router.node}.credit.{port.name}", link
         for ni in self.interfaces:
             if ni.credit_out is not None:
                 yield f"ni{ni.node}.eject_credit", ni.credit_out
@@ -172,7 +181,7 @@ class Network:
         """Router input-buffer occupancy split by virtual network."""
         totals = [0] * len(self.config.noc.vcs_per_vn)
         for router in self.routers:
-            for unit in router.inputs.values():
+            for _port, unit in router._input_units:
                 for vn, row in enumerate(unit.vcs):
                     totals[vn] += sum(len(vc.buffer) for vc in row)
         return totals
@@ -185,7 +194,7 @@ class Network:
         """Circuit entries still live at ``cycle`` (expired ones purged)."""
         total = 0
         for router in self.routers:
-            for unit in router.inputs.values():
+            for _port, unit in router._input_units:
                 if unit.circuit_table is not None:
                     total += unit.circuit_table.live_count(cycle)
         return total

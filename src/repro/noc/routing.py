@@ -8,7 +8,7 @@ virtual network, so the combination is deadlock-free.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from repro.noc.topology import Mesh, Port
 
@@ -55,6 +55,43 @@ def route_for_vn(mesh: Mesh, vn: int, here: int, dest: int,
     if (vn == 0) == request_xy:
         return route_xy(mesh, here, dest)
     return route_yx(mesh, here, dest)
+
+
+def build_route_table(mesh: Mesh, xy: bool) -> Tuple[Tuple[Port, ...], ...]:
+    """Dense DOR next-hop table: ``table[here][dest] -> Port``.
+
+    Routing is a pure function of the (static) mesh, so the whole
+    function space is enumerable once at construction; the router's hot
+    route-compute stage then degenerates to one indexed load.
+    """
+    fn = route_xy if xy else route_yx
+    return tuple(
+        tuple(fn(mesh, here, dest) for dest in range(mesh.n_nodes))
+        for here in range(mesh.n_nodes)
+    )
+
+
+def route_tables(mesh: Mesh, request_xy: bool = True
+                 ) -> Tuple[Tuple[Tuple[Port, ...], ...],
+                            Tuple[Tuple[Port, ...], ...]]:
+    """``(request table, reply table)`` for a mesh, cached on the mesh.
+
+    The two tables are the XY and YX tables assigned per the DOR
+    orientation (``request_xy``), exactly as :func:`route_for_vn` picks
+    them.  Tables are memoised on the mesh object so every router of a
+    network shares one pair.
+    """
+    cache = getattr(mesh, "_route_table_cache", None)
+    if cache is None:
+        cache = {}
+        mesh._route_table_cache = cache
+    xy = cache.get(True)
+    if xy is None:
+        xy = cache[True] = build_route_table(mesh, True)
+    yx = cache.get(False)
+    if yx is None:
+        yx = cache[False] = build_route_table(mesh, False)
+    return (xy, yx) if request_xy else (yx, xy)
 
 
 def path_routers(mesh: Mesh, vn: int, src: int, dest: int,

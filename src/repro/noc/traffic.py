@@ -157,6 +157,7 @@ class RequestReplyTraffic:
             self.sim.run(cycles)
         finally:
             self._injecting = False
+            self.net.stats.flush()
 
     def drain(self, max_cycles: int = 100_000) -> None:
         """Stop injecting and let the network empty."""
@@ -171,6 +172,8 @@ class RequestReplyTraffic:
             self.sim.run_until(done, max_cycles, check_interval=1)
         except DeadlockError as exc:
             raise RuntimeError("traffic driver failed to drain") from exc
+        finally:
+            net.stats.flush()
 
     # ------------------------------------------------------------------
     def circuit_success_rate(self) -> Optional[float]:

@@ -34,8 +34,13 @@ class InputVc:
         "stage",
         "route",
         "out_vc",
+        "out_obj",
         "ready_cycle",
         "granted_pending",
+        "scode",
+        "rcode",
+        "rkey",
+        "va_arb",
     )
 
     def __init__(self, vn: int, index: int, depth: int) -> None:
@@ -49,10 +54,23 @@ class InputVc:
         self.stage = VcStage.IDLE
         self.route: Optional[Port] = None
         self.out_vc: Optional[int] = None
+        #: The granted OutputVc object itself; set alongside ``out_vc`` so
+        #: the hot SA/ST stages skip the outputs[route].vcs[vn][out_vc]
+        #: triple lookup.
+        self.out_obj: Optional["OutputVc"] = None
         #: First cycle at which the current pipeline stage may act.
         self.ready_cycle = 0
         #: A flit won SA and awaits switch traversal.
         self.granted_pending = False
+        # Constants filled in by the owning Router (it knows the port):
+        #: switch-allocation phase-1 candidate id, ``(vn << 4) | index``.
+        self.scode = (vn << 4) | index
+        #: VC-allocation phase-2 requester id, ``(port << 8) | scode``.
+        self.rcode = self.scode
+        #: ``(port, vn, index)`` ownership key written to ``allocated_to``.
+        self.rkey: Tuple = (None, vn, index)
+        #: Per-VC phase-1 VC-allocation arbiter (installed by the Router).
+        self.va_arb = None
 
     def occupancy(self) -> int:
         return len(self.buffer)
@@ -68,6 +86,7 @@ class InputVc:
         """Tail left: clear per-packet state (caller restarts a queued head)."""
         self.route = None
         self.out_vc = None
+        self.out_obj = None
         self.granted_pending = False
         self.stage = VcStage.IDLE
 
@@ -75,7 +94,8 @@ class InputVc:
 class OutputVc:
     """Downstream VC bookkeeping at an output unit."""
 
-    __slots__ = ("vn", "index", "credits", "allocated_to")
+    __slots__ = ("vn", "index", "credits", "allocated_to", "code", "va_arb",
+                 "proposals")
 
     def __init__(self, vn: int, index: int, credits: int) -> None:
         self.vn = vn
@@ -83,6 +103,13 @@ class OutputVc:
         self.credits = credits
         #: (input_port, vn, vc_index) of the packet owning this output VC.
         self.allocated_to: Optional[Tuple[Port, int, int]] = None
+        #: phase-1 VC-allocation option id, ``(port << 8) | (vn << 4) | index``
+        #: (the Router fills in the port bits once it knows them).
+        self.code = (vn << 4) | index
+        #: Per-VC phase-2 VC-allocation arbiter (installed by the Router).
+        self.va_arb = None
+        #: Transient phase-1 proposers this cycle (reused, cleared by VA).
+        self.proposals: list = []
 
     @property
     def is_free(self) -> bool:

@@ -63,6 +63,7 @@ class NetworkEnergyModel:
 
 
 def _dynamic_energy(stats: Stats) -> float:
+    stats.flush()  # drain batched router/NI counters before reading
     c = stats.counters
     return (
         c.get("noc.buffer_writes", 0) * E_BUFFER_WRITE

@@ -87,6 +87,10 @@ class NocConfig:
     #: choice); False swaps them.  Either works - section 4.2 only needs
     #: the two VNs to use opposite dimension orders.
     request_xy: bool = True
+    #: Build the optimised router/NI hot path (default).  False builds the
+    #: pre-overhaul reference pipeline, which A/B equivalence tests use to
+    #: prove the fast path bit-identical (stats, histograms, finish cycle).
+    fastpath: bool = True
     #: Per-hop cycles for a packet-switched head flit (4 router + 1 link).
     @property
     def packet_hop_cycles(self) -> int:

@@ -90,7 +90,8 @@ class DeadlockError(SimulationError):
 class _Slot:
     """Kernel bookkeeping for one registered component."""
 
-    __slots__ = ("component", "order", "awake", "wake_at", "next_wake", "tick")
+    __slots__ = ("component", "order", "awake", "wake_at", "next_wake", "tick",
+                 "tick_wake")
 
     def __init__(self, component: Clocked, order: int) -> None:
         self.component = component
@@ -105,6 +106,11 @@ class _Slot:
         #: attribute so instrumentation (the telemetry kernel profiler)
         #: can interpose a timing wrapper without touching the component.
         self.tick = component.tick
+        #: Optional fused fast path: ``tick_wake(cycle)`` performs the
+        #: tick AND returns what ``next_wake(cycle)`` would have - one
+        #: call per awake component-cycle instead of two.  ``None`` when
+        #: the component does not provide it (plain tick + next_wake).
+        self.tick_wake = getattr(component, "tick_wake", None)
 
 
 class Simulator:
@@ -253,11 +259,15 @@ class Simulator:
         wake_bound = cycle + 1
         slept = False
         for slot in awake:
-            slot.tick(cycle)
-            next_wake = slot.next_wake
-            if next_wake is None:
-                continue
-            due = next_wake(cycle)
+            tick_wake = slot.tick_wake
+            if tick_wake is not None:
+                due = tick_wake(cycle)
+            else:
+                slot.tick(cycle)
+                next_wake = slot.next_wake
+                if next_wake is None:
+                    continue
+                due = next_wake(cycle)
             if due is not None and due <= wake_bound:
                 continue
             slot.awake = False

@@ -7,7 +7,7 @@ accumulators, deliberately simple so hot paths can bump plain dict entries.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Tuple
 
 
 class MeanStat:
@@ -112,15 +112,33 @@ class Stats:
     and ``record`` when the full distribution matters (percentiles).  Keys
     use a ``subsystem.metric`` convention, e.g. ``noc.flits_injected`` or
     ``circuit.replies_on_circuit``.
+
+    Hot components (routers, NIs) batch their per-flit counters in plain
+    int attributes and register a *flusher* here; every read-style method
+    calls :meth:`flush` first, so observers (samplers, invariant checkers,
+    forensics, result builders) always see complete counts.  A flusher
+    must move its pending deltas into ``counters`` and zero itself, and
+    must not add keys whose pending delta is zero (snapshot equality with
+    unbatched runs depends on it).
     """
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = defaultdict(int)
         self.means: Dict[str, MeanStat] = defaultdict(MeanStat)
         self.histograms: Dict[str, Histogram] = defaultdict(Histogram)
+        self._flushers: List[Callable[[], None]] = []
 
     def bump(self, key: str, amount: int = 1) -> None:
         self.counters[key] += amount
+
+    def add_flusher(self, flusher: Callable[[], None]) -> None:
+        """Register a callback that drains batched counters into us."""
+        self._flushers.append(flusher)
+
+    def flush(self) -> None:
+        """Drain every registered batcher so ``counters`` is complete."""
+        for flusher in self._flushers:
+            flusher()
 
     def observe(self, key: str, value: float, weight: int = 1) -> None:
         self.means[key].add(value, weight)
@@ -135,6 +153,8 @@ class Stats:
         return hist.percentile(p) if hist else 0.0
 
     def counter(self, key: str) -> int:
+        if self._flushers:
+            self.flush()
         return self.counters.get(key, 0)
 
     def mean(self, key: str) -> float:
@@ -142,6 +162,8 @@ class Stats:
         return stat.mean if stat else 0.0
 
     def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        if self._flushers:
+            self.flush()
         return {
             key: value
             for key, value in self.counters.items()
@@ -149,12 +171,20 @@ class Stats:
         }
 
     def reset(self) -> None:
-        """Clear all accumulated statistics (used after cache warmup)."""
+        """Clear all accumulated statistics (used after cache warmup).
+
+        Registered batchers are flushed first so their accumulators are
+        zeroed too; their pre-reset deltas are discarded along with
+        everything else.
+        """
+        self.flush()
         self.counters.clear()
         self.means.clear()
         self.histograms.clear()
 
     def merge(self, other: "Stats") -> None:
+        self.flush()
+        other.flush()
         for key, value in other.counters.items():
             self.counters[key] += value
         for key, stat in other.means.items():
@@ -164,6 +194,8 @@ class Stats:
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten to plain floats (counters verbatim, means as averages)."""
+        if self._flushers:
+            self.flush()
         out: Dict[str, float] = dict(self.counters)
         for key, stat in self.means.items():
             out[f"{key}.mean"] = stat.mean
@@ -171,6 +203,8 @@ class Stats:
 
     def share(self, keys: Iterable[str], of: Iterable[str]) -> float:
         """Fraction contributed by ``keys`` within the ``of`` population."""
+        if self._flushers:
+            self.flush()
         num = sum(self.counters.get(k, 0) for k in keys)
         den = sum(self.counters.get(k, 0) for k in of)
         return num / den if den else 0.0

@@ -201,6 +201,7 @@ class CmpSystem:
             raise
         finally:
             self.sim.remove_watchdog(watchdog)
+            self.stats.flush()
         return max(core.finish_cycle for core in self.cores)
 
     def functional_prewarm(self) -> None:
@@ -292,6 +293,8 @@ class CmpSystem:
         except SimulationError as error:
             self._attach_crash_report(error)
             raise
+        finally:
+            self.stats.flush()
 
 
 def build_system(config: SystemConfig,

@@ -130,7 +130,7 @@ class FaultInjector:
         candidates = []
         for router in self.net.routers:
             for port in router.ports:
-                if port is Port.LOCAL or port not in router.out_flit:
+                if port is Port.LOCAL or router.out_flit[port] is None:
                     continue
                 for vn_row in router.outputs[port].vcs:
                     for out_vc in vn_row:
@@ -148,7 +148,7 @@ class FaultInjector:
     def _apply_corrupt_window(self, cycle: int) -> Optional[dict]:
         candidates = []
         for router in self.net.routers:
-            for port, unit in router.inputs.items():
+            for port, unit in router._input_units:
                 table = unit.circuit_table
                 if table is None:
                     continue
@@ -173,7 +173,7 @@ class FaultInjector:
         node = mesh.node_at(mesh.side // 2, mesh.side // 2)
         router = self.net.routers[node]
         ports = [p for p in router.ports
-                 if p is not Port.LOCAL and p in router.out_flit]
+                 if p is not Port.LOCAL and router.out_flit[p] is not None]
         if not ports:
             return None
         stuck = ports[self.rng.randrange(len(ports))]

@@ -42,7 +42,7 @@ def build_wait_graph(net) -> List[Dict[str, str]]:
     """
     edges: List[Dict[str, str]] = []
     for router in net.routers:
-        for port, unit in router.inputs.items():
+        for port, unit in router._input_units:
             for vn_row in unit.vcs:
                 for vc in vn_row:
                     if not vc.buffer:
@@ -128,7 +128,7 @@ def blocked_vcs(net, cycle: Optional[int] = None) -> List[dict]:
     """Snapshot of every occupied input VC, oldest head first."""
     rows: List[dict] = []
     for router in net.routers:
-        for port, unit in router.inputs.items():
+        for port, unit in router._input_units:
             for vn_row in unit.vcs:
                 for vc in vn_row:
                     if not vc.buffer:
@@ -194,6 +194,7 @@ def crash_report(
         cycle = getattr(error, "cycle", None)
     edges = build_wait_graph(net)
     blocked = blocked_vcs(net, cycle=cycle)
+    net.stats.flush()  # drain batched hot counters before reading them
     counters = {
         key: value
         for key, value in sorted(net.stats.counters.items())

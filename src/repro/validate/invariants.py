@@ -113,7 +113,7 @@ def flit_census(net) -> int:
     total = 0
     for router in net.routers:
         total += router.buffered_flits()
-        for unit in router.inputs.values():
+        for _port, unit in router._input_units:
             total += len(unit.wait_queue)
     for _label, link in net.flit_links():
         total += len(link._queue)
@@ -136,7 +136,7 @@ def iter_network_messages(net) -> Iterable:
             for msg in _once(flit.msg):
                 yield msg
     for router in net.routers:
-        for unit in router.inputs.values():
+        for _port, unit in router._input_units:
             for vn_row in unit.vcs:
                 for vc in vn_row:
                     for flit, _arrival, _credit_vc in vc.buffer:
@@ -331,19 +331,18 @@ class InvariantMonitor:
         net = self.net
         for router in net.routers:
             granted: Dict[Tuple[Port, int, int], int] = {}
-            for _st_cycle, in_port, vn, vc_index in router._st_pending:
-                vc = router.inputs[in_port].vcs[vn][vc_index]
+            for _st_cycle, _in_port, vc in router._st_pending:
                 if vc.route is None or vc.route is Port.LOCAL:
                     continue
                 if vc.out_vc is None:
                     continue
-                key = (vc.route, vn, vc.out_vc)
+                key = (vc.route, vc.vn, vc.out_vc)
                 granted[key] = granted.get(key, 0) + 1
             for port in router.ports:
                 if port is Port.LOCAL:
                     continue
-                down = router.out_flit.get(port)
-                up = router.in_credit.get(port)
+                down = router.out_flit[port]
+                up = router.in_credit[port]
                 if down is None or up is None:
                     continue
                 neighbor = net.routers[net.mesh.neighbor(router.node, port)]
@@ -467,7 +466,7 @@ class InvariantMonitor:
                         )
         for router in net.routers:
             sharing: List[Tuple[Port, object]] = []
-            for port, unit in router.inputs.items():
+            for port, unit in router._input_units:
                 table = unit.circuit_table
                 if table is None:
                     continue
@@ -653,7 +652,7 @@ class InvariantMonitor:
                 label = f"router {component.node}"
                 waiting = sum(
                     len(unit.wait_queue)
-                    for unit in component.inputs.values()
+                    for _port, unit in component._input_units
                 )
                 if component._st_pending or waiting:
                     fail(
@@ -670,7 +669,7 @@ class InvariantMonitor:
                 # busy VC is genuinely blocked: an ACTIVE VC with a ready
                 # head and downstream credit, or a VA VC with a free
                 # output VC, could have acted next cycle.
-                for port, unit in component.inputs.items():
+                for port, unit in component._input_units:
                     for vn_row in unit.vcs:
                         for vc in vn_row:
                             if vc.stage is VcStage.IDLE:
@@ -721,8 +720,8 @@ class InvariantMonitor:
                                         )
                 check_arrivals(
                     label, component.incoming,
-                    list(component.in_flit.values())
-                    + list(component.in_credit.values()),
+                    [l for l in component.in_flit if l is not None]
+                    + [l for l in component.in_credit if l is not None],
                     wake_at,
                 )
             elif isinstance(component, NetworkInterface):
@@ -738,12 +737,18 @@ class InvariantMonitor:
                 )
                 if component.active_circuit is not None:
                     active += 1
-                if queued or active:
+                # A message enqueued *this* cycle while the NI slept (the
+                # protocol/driver pokes ``kernel_wake(cycle + 1)``) is
+                # injectable only from next cycle; the NI legitimately
+                # stays asleep until the scheduled wakeup delivers it.
+                resumed = wake_at is not None and wake_at <= cycle + 1
+                if (queued and not resumed) or active:
                     fail(
                         label,
                         f"sleeping NI holds runnable work: {queued} "
                         f"queued, {active} active sends",
-                        {"queued": queued, "active": active},
+                        {"queued": queued, "active": active,
+                         "wake_at": wake_at},
                     )
                 check_arrivals(
                     label, component.incoming,
@@ -797,7 +802,7 @@ class InvariantMonitor:
     def check_forward_progress(self, cycle: int) -> None:
         threshold = self.stall_threshold
         for router in self.net.routers:
-            for port, unit in router.inputs.items():
+            for port, unit in router._input_units:
                 for vn_row in unit.vcs:
                     for vc in vn_row:
                         if not vc.buffer:

@@ -62,7 +62,7 @@ def test_conflicting_circuits_fail_and_undo(chip):
         c.run(60)
         reserved_nodes = {h.node for h in b.walk.hops if h.reserved}
         for router in c.net.routers:
-            for unit in router.inputs.values():
+            for _port, unit in router._input_units:
                 for key in (unit.circuit_table.entries if unit.circuit_table else {}):
                     assert key != b.circuit_key
     c.run_until_drained(20000)
@@ -138,7 +138,7 @@ def test_packet_replies_restricted_to_non_circuit_vc(chip):
 def test_circuit_vc_is_bufferless(chip):
     c = chip(Variant.COMPLETE)
     router = c.net.routers[5]
-    for unit in router.inputs.values():
+    for _port, unit in router._input_units:
         assert unit.vcs[1][1].depth == 0  # circuit VC has no buffer
         assert unit.vcs[1][0].depth == 5
         assert unit.vcs[0][0].depth == 5

@@ -14,7 +14,7 @@ def reply_of(c, req):
 def test_reply_vn_has_three_vcs_with_buffers(chip):
     c = chip(Variant.FRAGMENTED)
     router = c.net.routers[5]
-    for unit in router.inputs.values():
+    for _port, unit in router._input_units:
         assert len(unit.vcs[1]) == 3
         for vc in unit.vcs[1]:
             assert vc.depth == 5  # fragmented keeps all buffers
@@ -73,7 +73,7 @@ def test_credits_conserved_after_fragmented_traffic(chip):
     c.run_until_drained(60000)
     depth = c.config.noc.buffer_depth_flits
     for router in c.net.routers:
-        for port, out in router.outputs.items():
+        for port, out in ((p, router.outputs[p]) for p in router.ports):
             if port.name == "LOCAL":
                 continue
             for vn_row in out.vcs:

@@ -60,7 +60,10 @@ def test_flit_link_preserves_order():
 
 def test_link_watcher_counts():
     class Watcher:
+        # The watcher contract: routers/NIs expose ``incoming`` plus a
+        # ``kernel_wake`` slot (None until an activity kernel registers).
         incoming = 0
+        kernel_wake = None
 
     link = FlitLink()
     link.watcher = Watcher()

@@ -1,0 +1,375 @@
+"""A/B equivalence of the saturation hot path vs. the reference pipeline.
+
+The hot-path overhaul's contract is *bit-identical* behaviour: the merged
+router tick, the fused kernel ``tick_wake`` protocol, the precomputed
+route tables, the index-rotation arbiters, the allocation bypass and the
+batched counters must produce exactly the same stats counters, means,
+histograms and finish cycles as the pre-overhaul reference pipeline
+(``config.noc.fastpath = False`` builds ``ReferenceRouter`` /
+``ReferenceNetworkInterface`` with the reference arbiters and per-event
+stats).  These tests pin that contract at four levels:
+
+* full traffic runs per variant at saturation and at low load, bare and
+  with telemetry + invariant checking attached;
+* a full CMP system (cores + MESI + NoC) run to completion both ways;
+* hypothesis property tests for the building blocks (route tables vs.
+  the routing functions, fast vs. reference arbiter, allocation bypass);
+* the batched-counter flush boundaries (Stats.merge/reset, interval
+  probes) and the profiler's self-measurement calibration.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build_system, workload_by_name
+from repro.noc.allocators import (
+    ArbiterPool,
+    ReferenceRoundRobinArbiter,
+    RoundRobinArbiter,
+    reference_two_phase_allocate,
+    two_phase_allocate,
+)
+from repro.noc.routing import route_for_vn, route_tables, route_xy, route_yx
+from repro.noc.topology import Mesh
+from repro.noc.traffic import RequestReplyTraffic
+from repro.sim.config import SystemConfig, Variant, small_test_config
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Stats
+from repro.telemetry import KernelProfiler, Telemetry, TelemetryConfig
+from repro.telemetry.metrics import counter_rate
+from repro.validate.invariants import InvariantMonitor
+
+#: Every distinct policy/pipeline shape, including a timed variant so the
+#: reservation-window purge path runs under both pipelines.
+VARIANTS = [
+    Variant.BASELINE,
+    Variant.COMPLETE,
+    Variant.FRAGMENTED,
+    Variant.IDEAL,
+    Variant.TIMED_NOACK,
+]
+
+#: Saturating load for the 16-node mesh (the regime the tentpole targets).
+SATURATION_RATE = 48.0
+
+
+def snapshot(stats):
+    """Every accumulator in comparable form (the bit-identity witness)."""
+    return (
+        dict(stats.counters),
+        {k: (m.total, m.count) for k, m in stats.means.items()},
+        {k: (dict(h.buckets), h.count) for k, h in stats.histograms.items()},
+    )
+
+
+def with_fastpath(cfg, fastpath):
+    return dataclasses.replace(
+        cfg, noc=dataclasses.replace(cfg.noc, fastpath=fastpath)
+    )
+
+
+def traffic_run(variant, rate, cycles, fastpath, seed=1, n_cores=16,
+                telemetry_dir=None, invariants=False, always_tick=False):
+    cfg = with_fastpath(
+        SystemConfig(n_cores=n_cores).with_variant(variant), fastpath
+    )
+    t = RequestReplyTraffic(cfg, rate, seed=seed)
+    if always_tick:
+        t.sim.set_always_tick(True)
+    if invariants:
+        InvariantMonitor(t.net, interval=250).attach(t.sim)
+    telem = None
+    if telemetry_dir is not None:
+        telem = Telemetry(TelemetryConfig(
+            interval=250,
+            out_dir=str(telemetry_dir / "out"),
+            trace_dir=str(telemetry_dir / "trace"),
+        )).attach(t)
+    t.run(cycles)
+    t.drain()
+    if telem is not None:
+        telem.detach()
+    return (
+        snapshot(t.net.stats),
+        t.cycle,
+        t.requests_sent,
+        t.replies_received,
+        tuple(t.reply_latencies),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Full traffic runs: fast pipeline vs. reference pipeline.
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("variant", VARIANTS, ids=lambda v: v.name)
+def test_saturation_bit_identical(variant):
+    fast = traffic_run(variant, SATURATION_RATE, 2000, fastpath=True)
+    ref = traffic_run(variant, SATURATION_RATE, 2000, fastpath=False)
+    assert fast == ref
+
+
+@pytest.mark.parametrize("variant", VARIANTS, ids=lambda v: v.name)
+def test_low_load_bit_identical(variant):
+    fast = traffic_run(variant, 6.0, 2000, fastpath=True)
+    ref = traffic_run(variant, 6.0, 2000, fastpath=False)
+    assert fast == ref
+
+
+@pytest.mark.parametrize(
+    "variant", [Variant.COMPLETE, Variant.FRAGMENTED], ids=lambda v: v.name
+)
+def test_bit_identical_with_telemetry_and_invariants(variant, tmp_path):
+    """Observers force mid-run flushes of the batched counters; results
+    must still match a bare reference run exactly (satellite: samplers,
+    invariant checkers and forensics always read through a flush)."""
+    fast = traffic_run(variant, SATURATION_RATE, 2000, fastpath=True,
+                       telemetry_dir=tmp_path, invariants=True)
+    ref = traffic_run(variant, SATURATION_RATE, 2000, fastpath=False)
+    assert fast == ref
+
+
+@pytest.mark.parametrize(
+    "variant", [Variant.FRAGMENTED, Variant.IDEAL], ids=lambda v: v.name
+)
+def test_fused_tick_wake_matches_always_tick(variant):
+    """The kernel's fused tick+next_wake protocol (``tick_wake``) must be
+    invisible: forced always-tick mode (which calls the plain ``tick``
+    wrappers) produces identical results."""
+    fused = traffic_run(variant, 24.0, 1500, fastpath=True)
+    always = traffic_run(variant, 24.0, 1500, fastpath=True,
+                         always_tick=True)
+    assert fused == always
+
+
+def test_full_system_bit_identical():
+    def run(fastpath):
+        cfg = with_fastpath(
+            small_test_config(16, Variant.COMPLETE, seed=3), fastpath
+        )
+        system = build_system(cfg, workload_by_name("fluidanimate"))
+        cycles = system.run_instructions(200, max_cycles=1_500_000)
+        system.drain()
+        return snapshot(system.stats), cycles, system.sim.cycle
+
+    assert run(fastpath=True) == run(fastpath=False)
+
+
+# ---------------------------------------------------------------------------
+# Precomputed route tables == the routing functions, for every input.
+# ---------------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    side=st.integers(min_value=1, max_value=8),
+    here=st.integers(min_value=0),
+    dest=st.integers(min_value=0),
+    request_xy=st.booleans(),
+)
+def test_route_tables_match_routing_functions(side, here, dest, request_xy):
+    mesh = Mesh(side)
+    here %= mesh.n_nodes
+    dest %= mesh.n_nodes
+    req_table, rep_table = route_tables(mesh, request_xy)
+    assert req_table[here][dest] == route_for_vn(
+        mesh, 0, here, dest, request_xy)
+    assert rep_table[here][dest] == route_for_vn(
+        mesh, 1, here, dest, request_xy)
+    xy_table = req_table if request_xy else rep_table
+    yx_table = rep_table if request_xy else req_table
+    assert xy_table[here][dest] == route_xy(mesh, here, dest)
+    assert yx_table[here][dest] == route_yx(mesh, here, dest)
+
+
+def test_route_tables_cover_whole_mesh():
+    mesh = Mesh(4)
+    req_table, rep_table = route_tables(mesh)
+    for here in range(mesh.n_nodes):
+        for dest in range(mesh.n_nodes):
+            assert req_table[here][dest] == route_xy(mesh, here, dest)
+            assert rep_table[here][dest] == route_yx(mesh, here, dest)
+
+
+# ---------------------------------------------------------------------------
+# Arbiters: index rotation vs. the list-copying reference.
+# ---------------------------------------------------------------------------
+candidate_lists = st.lists(
+    st.lists(st.sampled_from("abcdef"), min_size=1, max_size=6, unique=True),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(history=candidate_lists)
+def test_arbiter_equivalence_property(history):
+    """Same grant history in, same winner out - including rounds where the
+    previous winner is no longer a candidate."""
+    fast = RoundRobinArbiter()
+    ref = ReferenceRoundRobinArbiter()
+    for candidates in history:
+        assert fast.pick(candidates) == ref.pick(candidates)
+        assert fast._last == ref._last
+
+
+@settings(max_examples=200, deadline=None)
+@given(history=candidate_lists)
+def test_pick_at_matches_pick(history):
+    by_value = RoundRobinArbiter()
+    by_index = RoundRobinArbiter()
+    for candidates in history:
+        winner = by_value.pick(candidates)
+        assert candidates[by_index.pick_at(candidates)] == winner
+
+
+def test_arbiter_rotates_fairly():
+    arb = RoundRobinArbiter()
+    grants = [arb.pick(["a", "b", "c"]) for _ in range(6)]
+    assert grants == ["a", "b", "c", "a", "b", "c"]
+
+
+def test_arbiter_winner_absent_restarts_at_first():
+    """Regression for the stale-winner comment/behaviour mismatch: when
+    the previous winner is not among the candidates, priority restarts at
+    the first candidate in submission order, and that grant becomes the
+    new rotation point."""
+    for cls in (RoundRobinArbiter, ReferenceRoundRobinArbiter):
+        arb = cls()
+        assert arb.pick(["a", "b"]) == "a"
+        # "a" disappeared: restart at the first candidate...
+        assert arb.pick(["b", "c"]) == "b"
+        # ...and "b" is now the rotation point, so "c" is next.
+        assert arb.pick(["a", "b", "c"]) == "c"
+
+
+def test_arbiter_empty_candidates():
+    assert RoundRobinArbiter().pick([]) is None
+    assert ReferenceRoundRobinArbiter().pick([]) is None
+
+
+request_maps = st.lists(
+    st.dictionaries(
+        keys=st.integers(min_value=0, max_value=4),
+        values=st.lists(st.sampled_from("xyz"), min_size=1, max_size=3,
+                        unique=True),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(history=request_maps)
+def test_two_phase_allocate_bypass_equivalence(history):
+    """The single-requester bypass must leave every arbiter in the same
+    state the full path would, across arbitrary request sequences that
+    mix uncontended (bypassed) and contended rounds."""
+    fast1, fast2 = ArbiterPool(), ArbiterPool()
+    ref1 = ArbiterPool(ReferenceRoundRobinArbiter)
+    ref2 = ArbiterPool(ReferenceRoundRobinArbiter)
+    for requests in history:
+        fast = two_phase_allocate(requests, fast1, fast2)
+        ref = reference_two_phase_allocate(requests, ref1, ref2)
+        assert fast == ref
+
+
+# ---------------------------------------------------------------------------
+# Batched-counter flush boundaries.
+# ---------------------------------------------------------------------------
+def _batched_stats(pending):
+    """A Stats with one registered batcher holding ``pending`` deltas."""
+    stats = Stats()
+    cell = dict(pending)
+
+    def flusher():
+        for key, value in list(cell.items()):
+            if value:
+                stats.counters[key] += value
+                cell[key] = 0
+
+    stats.add_flusher(flusher)
+    return stats, cell
+
+
+def test_stats_counter_reads_flush_batchers():
+    stats, cell = _batched_stats({"noc.link_flits": 7})
+    assert stats.counter("noc.link_flits") == 7
+    assert cell["noc.link_flits"] == 0
+
+
+def test_stats_merge_flushes_both_sides():
+    a, cell_a = _batched_stats({"k": 3})
+    b, cell_b = _batched_stats({"k": 4})
+    a.bump("k", 10)
+    a.merge(b)
+    assert a.counters["k"] == 17
+    assert cell_a["k"] == 0 and cell_b["k"] == 0
+
+
+def test_stats_reset_zeroes_batchers():
+    stats, cell = _batched_stats({"k": 9})
+    stats.reset()
+    assert cell["k"] == 0
+    assert stats.counter("k") == 0
+
+
+def test_counter_rate_probe_sees_batched_deltas():
+    """Interval probes must observe batched increments exactly as if each
+    event had been bumped individually (sampler reads force a flush)."""
+    stats, cell = _batched_stats({"k": 0})
+    probe = counter_rate(stats, "k", interval=10)
+    assert probe(10) == 0.0
+    cell["k"] += 25
+    assert probe(20) == 2.5
+    cell["k"] += 5
+    stats.bump("k", 5)
+    assert probe(30) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Profiler self-measurement calibration (and fused-tick wrapping).
+# ---------------------------------------------------------------------------
+def test_profiler_calibration_reports_overhead():
+    cfg = SystemConfig(n_cores=16).with_variant(Variant.COMPLETE)
+    t = RequestReplyTraffic(cfg, 12.0, seed=2)
+    profiler = KernelProfiler().attach(t.sim)
+    t.run(500)
+    profiler.detach()
+    report = profiler.report()
+    assert profiler.overhead_per_tick >= 0.0
+    assert report["overhead_per_tick"] == profiler.overhead_per_tick
+    assert report["overhead_seconds"] >= 0.0
+    router_row = report["classes"]["Router"]
+    assert router_row["ticks"] > 0
+    assert router_row["seconds_corrected"] <= router_row["seconds"]
+    assert "corrected" in profiler.table()
+
+
+def test_profiler_wraps_fused_tick_and_restores_it():
+    cfg = SystemConfig(n_cores=16).with_variant(Variant.BASELINE)
+    t = RequestReplyTraffic(cfg, 12.0, seed=2)
+    saved = [(slot.tick, slot.tick_wake) for slot in t.sim._slots]
+    assert any(tw is not None for _, tw in saved)  # fused path in use
+    profiler = KernelProfiler().attach(t.sim)
+    t.run(400)
+    profiler.detach()
+    assert [(slot.tick, slot.tick_wake) for slot in t.sim._slots] == saved
+    # the profiled ticks came through the fused wrapper
+    assert profiler.report()["classes"]["Router"]["ticks"] > 0
+
+
+def test_profiled_run_is_bit_identical():
+    def run(profiled):
+        cfg = SystemConfig(n_cores=16).with_variant(Variant.COMPLETE)
+        t = RequestReplyTraffic(cfg, SATURATION_RATE, seed=1)
+        profiler = KernelProfiler().attach(t.sim) if profiled else None
+        t.run(1200)
+        t.drain()
+        if profiler is not None:
+            profiler.detach()
+        return snapshot(t.net.stats), t.cycle
+
+    assert run(profiled=True) == run(profiled=False)

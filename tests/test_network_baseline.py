@@ -87,7 +87,7 @@ def test_credits_restore_after_drain(chip):
     c.run_until_drained(20000)
     depth = c.config.noc.buffer_depth_flits
     for router in c.net.routers:
-        for port, out in router.outputs.items():
+        for port, out in ((p, router.outputs[p]) for p in router.ports):
             for vn_row in out.vcs:
                 for ovc in vn_row:
                     if port.name == "LOCAL":

@@ -56,7 +56,7 @@ def test_all_requests_get_replies_and_network_drains(variant, traffic):
     # credit conservation at every router output
     depth = chip.config.noc.buffer_depth_flits
     for router in chip.net.routers:
-        for port, out in router.outputs.items():
+        for port, out in ((p, router.outputs[p]) for p in router.ports):
             if port.name == "LOCAL":
                 continue
             for vn_row in out.vcs:

@@ -131,5 +131,5 @@ def test_busy_vc_accounting_balances():
         net.tick(cycle)
     for router in net.routers:
         assert router._busy_vcs == 0
-        for port, unit in router.inputs.items():
+        for port, unit in router._input_units:
             assert unit.busy_count == 0

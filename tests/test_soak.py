@@ -54,7 +54,7 @@ def test_soak_buffers_and_vcs_fully_recovered():
     for router in traffic.net.routers:
         assert router.buffered_flits() == 0
         assert router._busy_vcs == 0
-        for unit in router.inputs.values():
+        for _port, unit in router._input_units:
             assert unit.busy_count == 0
             for vn_row in unit.vcs:
                 for vc in vn_row:

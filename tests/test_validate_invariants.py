@@ -105,7 +105,7 @@ def test_circuit_lifecycle_detects_planted_entry():
     net = traffic.net
     table = None
     for router in net.routers:
-        for port, unit in router.inputs.items():
+        for port, unit in router._input_units:
             if unit.circuit_table is not None:
                 table = unit.circuit_table
                 in_port, node = port, router.node
@@ -139,7 +139,7 @@ def test_credit_conservation_detects_leaked_credit():
         vc
         for router in traffic.net.routers
         for port in router.ports
-        if port is not Port.LOCAL and port in router.out_flit
+        if port is not Port.LOCAL and router.out_flit[port] is not None
         for vn_row in router.outputs[port].vcs
         for vc in vn_row
         if (vc.vn, vc.index) not in bufferless and vc.credits > 0

@@ -1,0 +1,323 @@
+#!/usr/bin/env python
+"""Benchmark the saturation hot path against the reference pipeline.
+
+Usage:
+    PYTHONPATH=src python tools/bench_hotpath.py             # full bench
+    PYTHONPATH=src python tools/bench_hotpath.py --smoke     # CI gate
+    PYTHONPATH=src python tools/bench_hotpath.py --profile   # + attribution
+
+Every point runs the synthetic request-reply workload at a saturating
+injection rate twice on identical seeds - once on the overhauled fast
+pipeline (``config.noc.fastpath = True``: merged router tick, fused
+kernel tick_wake, precomputed route tables, index-rotation arbiters,
+batched counters) and once on the pre-overhaul reference pipeline
+(``fastpath = False``) - verifies the two produce bit-identical stats
+and finish cycles, and times both with ``time.process_time`` (CPU time:
+immune to scheduler noise), keeping the best of ``--reps`` interleaved
+repetitions.
+
+Two speedups are reported per point:
+
+* ``speedup_vs_reference`` - fast vs. reference, measured in the same
+  process invocation.  Interleaving makes this ratio robust to machine
+  load, so it is the primary metric.
+* ``speedup_vs_pre_pr`` - fast vs. the absolute cycles/sec recorded at
+  the pre-overhaul commit on the machine that produced the committed
+  ``BENCH_hotpath.json``.  Only comparable on that machine.
+
+``--smoke`` is the CI regression gate: it reruns the default-config
+point (BASELINE, the repo's default variant) fast-path only, scales the
+committed reference cycles/sec by a calibration loop (so a slower or
+faster CI runner does not produce false alarms), and fails if the
+measured throughput drops more than 10% below the scaled reference.
+
+``--profile`` additionally attaches the ``KernelProfiler`` to one run
+per pipeline and records the per-class attribution (the before/after
+evidence for where the time went).
+"""
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import time
+
+from repro.noc.traffic import RequestReplyTraffic
+from repro.sim.config import SystemConfig, Variant
+from repro.telemetry import KernelProfiler
+
+#: Saturating load (requests/kcycle/node) for the 16-node mesh: the
+#: regime where the busy-phase pipeline dominates wall time (the
+#: activity kernel is at parity here, see BENCH_kernel.json --full).
+SATURATION_RATE = 48.0
+
+VARIANTS = (Variant.BASELINE, Variant.COMPLETE, Variant.FRAGMENTED,
+            Variant.IDEAL)
+
+#: The repo's default configuration (SystemConfig() with no variant
+#: override) - the point the CI gate regresses against.
+DEFAULT_VARIANT = Variant.BASELINE
+
+#: Absolute fast-path throughput at the pre-overhaul commit, measured on
+#: the machine that produced the committed BENCH_hotpath.json (same
+#: workload: 16 cores, rate 48, 6000 injection cycles + drain, seed 1).
+PRE_PR = {
+    "commit": "842ad52",
+    "cycles_per_sec": {
+        "BASELINE": 3198,
+        "COMPLETE": 3371,
+        "FRAGMENTED": 3346,
+    },
+}
+
+
+def calibrate(iters=3_000_000, rounds=3):
+    """Pure-python busy-loop speed (iterations/sec, best of ``rounds``).
+
+    The smoke gate scales the committed reference throughput by the
+    ratio of this number across machines, so a slower CI runner is not
+    mistaken for a performance regression.
+    """
+    best = 0.0
+    for _ in range(rounds):
+        x = 1
+        start = time.process_time()
+        for _ in range(iters):
+            x = (x * 1103515245 + 12345) & 0xFFFFFFFF
+        seconds = time.process_time() - start
+        if seconds > 0:
+            best = max(best, iters / seconds)
+    return best
+
+
+def snapshot(traffic):
+    """Everything an equivalent run must reproduce exactly."""
+    stats = traffic.net.stats
+    return (
+        dict(stats.counters),
+        {k: (m.total, m.count) for k, m in stats.means.items()},
+        {k: (dict(h.buckets), h.count) for k, h in stats.histograms.items()},
+        traffic.cycle,
+        traffic.requests_sent,
+        traffic.replies_received,
+        tuple(traffic.reply_latencies),
+    )
+
+
+def build(variant, fastpath, n_cores, seed):
+    cfg = SystemConfig(n_cores=n_cores).with_variant(variant)
+    cfg = dataclasses.replace(
+        cfg, noc=dataclasses.replace(cfg.noc, fastpath=fastpath)
+    )
+    return RequestReplyTraffic(cfg, SATURATION_RATE, seed=seed)
+
+
+def one_run(variant, fastpath, cycles, seed, n_cores, profiler=None):
+    traffic = build(variant, fastpath, n_cores, seed)
+    if profiler is not None:
+        profiler.attach(traffic.sim)
+    start = time.process_time()
+    traffic.run(cycles)
+    traffic.drain()
+    seconds = time.process_time() - start
+    if profiler is not None:
+        profiler.detach()
+    return traffic, seconds
+
+
+def profile_classes(variant, fastpath, cycles, seed, n_cores):
+    """Per-class attribution of one profiled run (not used for timing)."""
+    profiler = KernelProfiler()
+    one_run(variant, fastpath, cycles, seed, n_cores, profiler=profiler)
+    report = profiler.report()
+    return {
+        "overhead_per_tick_ns": round(report["overhead_per_tick"] * 1e9, 1),
+        "classes": {
+            name: {
+                "ticks": row["ticks"],
+                "seconds": round(row["seconds"], 4),
+                "seconds_corrected": round(row["seconds_corrected"], 4),
+                "share": round(row["share"], 4),
+            }
+            for name, row in report["classes"].items()
+        },
+    }
+
+
+def bench_point(variant, cycles, seed, n_cores, reps, with_profile):
+    """Time one variant on both pipelines, interleaved best-of-``reps``."""
+    best = {"fast": None, "reference": None}
+    snaps = {}
+    total_cycles = None
+    for _ in range(reps):
+        for mode, fastpath in (("fast", True), ("reference", False)):
+            traffic, seconds = one_run(variant, fastpath, cycles, seed,
+                                       n_cores)
+            snaps.setdefault(mode, snapshot(traffic))
+            if mode == "fast":
+                total_cycles = traffic.sim.cycle
+            if best[mode] is None or seconds < best[mode]:
+                best[mode] = seconds
+
+    def mode_report(mode):
+        seconds = best[mode]
+        return {
+            "seconds": round(seconds, 6),
+            "cycles_per_sec": round(total_cycles / seconds) if seconds else None,
+        }
+
+    point = {
+        "variant": variant.name,
+        "rate_req_per_kcycle_node": SATURATION_RATE,
+        "cycles": cycles,
+        "simulated_cycles": total_cycles,
+        "identical": snaps["fast"] == snaps["reference"],
+        "fast": mode_report("fast"),
+        "reference": mode_report("reference"),
+        "speedup_vs_reference": round(best["reference"] / best["fast"], 3),
+    }
+    pre = PRE_PR["cycles_per_sec"].get(variant.name)
+    if pre:
+        point["speedup_vs_pre_pr"] = round(
+            point["fast"]["cycles_per_sec"] / pre, 3
+        )
+    if with_profile:
+        point["profile"] = {
+            "fast": profile_classes(variant, True, cycles, seed, n_cores),
+            "reference": profile_classes(variant, False, cycles, seed,
+                                         n_cores),
+        }
+    return point
+
+
+def smoke(args):
+    """CI gate: default-config throughput vs. the committed reference."""
+    if not os.path.exists(args.reference):
+        print(f"ERROR: no committed reference at {args.reference}",
+              file=sys.stderr)
+        return 1
+    with open(args.reference) as fh:
+        committed = json.load(fh)
+    ref_point = next(
+        p for p in committed["points"]
+        if p["variant"] == DEFAULT_VARIANT.name
+    )
+    ref_cps = ref_point["fast"]["cycles_per_sec"]
+    ref_cal = committed["calibration_iters_per_sec"]
+
+    cal = calibrate()
+    scale = cal / ref_cal
+    floor = ref_cps * scale * (1.0 - args.tolerance)
+
+    cycles = args.cycles if args.cycles is not None else 2000
+    reps = args.reps if args.reps is not None else 2
+    best = None
+    total_cycles = None
+    for _ in range(reps):
+        traffic, seconds = one_run(DEFAULT_VARIANT, True, cycles, args.seed,
+                                   args.nodes)
+        total_cycles = traffic.sim.cycle
+        if best is None or seconds < best:
+            best = seconds
+    cps = total_cycles / best
+    print(f"calibration: {cal:,.0f} iters/sec here vs "
+          f"{ref_cal:,.0f} committed (scale {scale:.2f})")
+    print(f"{DEFAULT_VARIANT.name} fast path: {cps:,.0f} cycles/sec; "
+          f"floor {floor:,.0f} "
+          f"(committed {ref_cps:,} x {scale:.2f} x "
+          f"{1.0 - args.tolerance:.2f})")
+    if cps < floor:
+        print("ERROR: saturation throughput regressed below the gate",
+              file=sys.stderr)
+        return 1
+    print("smoke gate passed")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI regression gate against the committed "
+                             "BENCH_hotpath.json (calibration-scaled)")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach KernelProfiler and record per-class "
+                             "attribution for both pipelines")
+    parser.add_argument("--cycles", type=int, default=None,
+                        help="injection cycles per point (default 6000; "
+                             "smoke 2000)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="interleaved repetitions, best kept "
+                             "(default 3; smoke 2)")
+    parser.add_argument("--nodes", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional drop in --smoke mode")
+    parser.add_argument("--reference", default="BENCH_hotpath.json",
+                        help="committed reference JSON (--smoke input)")
+    parser.add_argument("--out", default="BENCH_hotpath.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return smoke(args)
+
+    cycles = args.cycles if args.cycles is not None else 6000
+    reps = args.reps if args.reps is not None else 3
+
+    cal = calibrate()
+    points = []
+    all_identical = True
+    print(f"{'variant':<12} {'reference':>10} {'fast':>10} "
+          f"{'vs ref':>7} {'vs pre-PR':>10}  identical")
+    for variant in VARIANTS:
+        point = bench_point(variant, cycles, args.seed, args.nodes, reps,
+                            args.profile)
+        points.append(point)
+        all_identical &= point["identical"]
+        pre = point.get("speedup_vs_pre_pr")
+        print(f"{point['variant']:<12} "
+              f"{point['reference']['cycles_per_sec']:>8} c/s "
+              f"{point['fast']['cycles_per_sec']:>8} c/s "
+              f"{point['speedup_vs_reference']:>6.2f}x "
+              f"{pre if pre is not None else '-':>9}  "
+              f"{point['identical']}")
+
+    result = {
+        "schema": 1,
+        "config": {
+            "n_cores": args.nodes,
+            "rate_req_per_kcycle_node": SATURATION_RATE,
+            "cycles_per_point": cycles,
+            "reps": reps,
+            "seed": args.seed,
+            "timer": "process_time",
+        },
+        "calibration_iters_per_sec": round(cal),
+        "pre_pr": PRE_PR,
+        "points": points,
+        "aggregate": {
+            "all_identical": all_identical,
+            "default_variant": DEFAULT_VARIANT.name,
+            "default_speedup_vs_reference": next(
+                p["speedup_vs_reference"] for p in points
+                if p["variant"] == DEFAULT_VARIANT.name
+            ),
+            "default_speedup_vs_pre_pr": next(
+                (p.get("speedup_vs_pre_pr") for p in points
+                 if p["variant"] == DEFAULT_VARIANT.name), None
+            ),
+        },
+    }
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.out}")
+    if not all_identical:
+        print("ERROR: fast pipeline diverged from the reference",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
