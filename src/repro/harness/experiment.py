@@ -268,6 +268,68 @@ def crash_dir() -> str:
     return os.environ.get("REPRO_CRASH_DIR") or os.path.join("out", "crash")
 
 
+def _check_interval() -> int:
+    raw = os.environ.get("REPRO_CHECK_INTERVAL")
+    return int(raw) if raw else 2000
+
+
+def _assemble_result(spec: RunSpec, key: str, config: SystemConfig,
+                     stats: Stats, exec_cycles: int) -> RunResult:
+    """Measured stats -> the flattened RunResult the figures consume.
+
+    Shared by the single-process engine and the sharded engine
+    (:mod:`repro.sim.shard`) so both produce byte-identical results.
+    """
+    energy = network_energy(config, stats, exec_cycles)
+    means = {k: m.mean for k, m in stats.means.items()}
+    for cls in ("req", "crep", "norep"):
+        for p in (50, 95, 99):
+            means[f"lat.net.{cls}.p{p}"] = stats.percentile(
+                f"lat.net.{cls}", p
+            )
+    return RunResult(
+        spec_key=key,
+        n_cores=spec.n_cores,
+        variant=spec.variant.value,
+        workload=spec.workload,
+        exec_cycles=exec_cycles,
+        counters=dict(stats.counters),  # flushed by run/drain
+        means=means,
+        outcomes={o.value: f for o, f in outcome_fractions(stats).items()},
+        histograms=_serialize_histograms(stats),
+        energy_dynamic=energy.dynamic,
+        energy_static=energy.static,
+    )
+
+
+_warned_observed_shards = False
+
+
+def _resolved_shards(spec: RunSpec, config: SystemConfig) -> int:
+    """Shard count for this run (1 = classic single-process engine).
+
+    Observed (telemetry-attached) runs always execute in one process:
+    instruments hold references to live simulation objects, which cannot
+    span processes.  Results are bit-identical either way, so this is
+    purely an execution-engine decision.
+    """
+    from repro.sim.shard import resolve_shards
+
+    shards = resolve_shards(config)
+    if shards > 1 and spec.observed:
+        global _warned_observed_shards
+        if not _warned_observed_shards:
+            _warned_observed_shards = True
+            import logging
+
+            logging.getLogger("repro.harness.experiment").info(
+                "telemetry-observed runs execute single-process; "
+                "ignoring the configured %d shards for them", shards,
+            )
+        return 1
+    return shards
+
+
 def run_experiment(spec: RunSpec) -> RunResult:
     """Simulate one configuration (memoised per process and on disk).
 
@@ -275,6 +337,12 @@ def run_experiment(spec: RunSpec) -> RunResult:
     audits the run every ``REPRO_CHECK_INTERVAL`` cycles (default 2000).
     The monitor is read-only, so checked results are bit-identical to
     unchecked ones and share the same cache entries.
+
+    With ``REPRO_SHARDS=<n>`` (or ``config.sim.shards``) the run executes
+    on the sharded engine (:mod:`repro.sim.shard`): the mesh is split into
+    ``n`` row bands simulated in ``n`` worker processes.  Sharded results
+    are bit-identical to single-process ones, so they share the same memo
+    and disk-cache entries.
     """
     spec = spec.scaled()
     key = spec.key()
@@ -292,14 +360,28 @@ def run_experiment(spec: RunSpec) -> RunResult:
     config = SystemConfig(n_cores=spec.n_cores, seed=spec.seed).with_variant(
         spec.variant
     )
+    shards = _resolved_shards(spec, config)
+    if shards > 1:
+        from repro.sim.shard import run_sharded
+
+        sharded = run_sharded(
+            config, spec.workload, spec.warmup_instructions,
+            spec.measure_instructions, n_shards=shards,
+            check=env_flag("REPRO_CHECK"),
+            check_interval=_check_interval(),
+        )
+        result = _assemble_result(spec, key, config, sharded.stats,
+                                  sharded.exec_cycles)
+        _memo[key] = result
+        _store_disk(result)
+        return result
+
     system = build_system(config, workload_by_name(spec.workload))
     if env_flag("REPRO_CHECK"):
         from repro.validate import InvariantMonitor
 
-        raw = os.environ.get("REPRO_CHECK_INTERVAL")
-        interval = int(raw) if raw else 2000
         InvariantMonitor(
-            system.network, system=system, interval=interval
+            system.network, system=system, interval=_check_interval()
         ).attach(system.sim)
     if spec.warmup_instructions:
         system.warmup(spec.warmup_instructions)
@@ -321,27 +403,8 @@ def run_experiment(spec: RunSpec) -> RunResult:
             "paths": telem.export(spec.label()),
             "spec_key": key,
         }
-    exec_cycles = finish - start
-    energy = network_energy(config, system.stats, exec_cycles)
-    means = {k: m.mean for k, m in system.stats.means.items()}
-    for cls in ("req", "crep", "norep"):
-        for p in (50, 95, 99):
-            means[f"lat.net.{cls}.p{p}"] = system.stats.percentile(
-                f"lat.net.{cls}", p
-            )
-    result = RunResult(
-        spec_key=key,
-        n_cores=spec.n_cores,
-        variant=spec.variant.value,
-        workload=spec.workload,
-        exec_cycles=exec_cycles,
-        counters=dict(system.stats.counters),  # flushed by run/drain
-        means=means,
-        outcomes={o.value: f for o, f in outcome_fractions(system.stats).items()},
-        histograms=_serialize_histograms(system.stats),
-        energy_dynamic=energy.dynamic,
-        energy_static=energy.static,
-    )
+    result = _assemble_result(spec, key, config, system.stats,
+                              finish - start)
     _memo[key] = result
     _store_disk(result)
     return result

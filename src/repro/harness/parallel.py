@@ -27,7 +27,8 @@ import logging
 import os
 import signal
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, Iterable, Optional
 
@@ -104,20 +105,30 @@ def run_tasks(
     """Run ``worker(payload)`` for every ``{key: payload}`` task.
 
     Returns ``{key: result}``.  Raises :class:`RunTimeoutError` if any
-    run times out, :class:`WorkerCrashError` if runs are still killing
-    workers after ``crash_retries`` pool restarts, and re-raises the
-    first ordinary worker exception.
+    run times out, :class:`WorkerCrashError` if any run is still killing
+    its worker process after ``crash_retries`` retries, and re-raises
+    the first ordinary worker exception.
+
+    Crash accounting: at most ``jobs`` tasks are in flight at a time, so
+    when a worker death breaks the pool only the tasks actually running
+    are charged an attempt - the queued backlog is retried for free.  A
+    task that exhausts its retries is dropped (and reported at the end)
+    while the remaining tasks keep running; one poisonous configuration
+    cannot abort the innocent rest of a sweep.
     """
     jobs = resolve_jobs(jobs)
     todo = dict(tasks)
     results: Dict[str, object] = {}
     attempts = {key: 0 for key in todo}
     timed_out: Dict[str, RunTimeoutError] = {}
+    crashed: Dict[str, int] = {}
     total = len(todo)
     started = time.monotonic()
 
     def _progress() -> None:
-        done = len(results)
+        # "done" counts terminal outcomes - successes AND timeouts -
+        # so the ETA stays truthful when runs hit the timeout.
+        done = len(results) + len(timed_out)
         elapsed = time.monotonic() - started
         eta = elapsed / done * (total - done) if done else float("inf")
         message = (f"[repro] {done}/{total} runs done, "
@@ -129,48 +140,74 @@ def run_tasks(
     while todo:
         pool_broke = False
         with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
-            futures = {
-                pool.submit(_invoke, worker, payload, timeout): key
-                for key, payload in todo.items()
-            }
-            for future in as_completed(futures):
-                key = futures[future]
-                try:
-                    results[key] = future.result()
-                except RunTimeoutError as exc:
-                    # no retry: a deterministic run that timed out once
-                    # will time out again
-                    timed_out[key] = exc
-                    todo.pop(key)
-                except BrokenProcessPool:
-                    # the pool is dead; every still-pending task lands
-                    # here, and we cannot tell which one was the killer
-                    pool_broke = True
-                    attempts[key] += 1
-                except Exception:
-                    # an ordinary worker error is deterministic; don't
-                    # wait for the rest of the matrix before raising it
-                    for pending in futures:
-                        pending.cancel()
-                    raise
-                else:
-                    todo.pop(key)
-                    _progress()
-        if timed_out and not todo:
-            break
+            backlog = deque(todo.items())
+            futures: Dict[object, str] = {}  # in-flight future -> key
+
+            def _fill() -> None:
+                # Submission is throttled to the worker count: every
+                # in-flight task owns a worker, so on a pool break the
+                # in-flight set is exactly the candidate-killer set.
+                while backlog and len(futures) < jobs:
+                    key, payload = backlog.popleft()
+                    futures[pool.submit(_invoke, worker, payload,
+                                        timeout)] = key
+
+            _fill()
+            while futures:
+                finished, _ = wait(set(futures),
+                                   return_when=FIRST_COMPLETED)
+                for future in finished:
+                    key = futures.pop(future)
+                    try:
+                        results[key] = future.result()
+                    except RunTimeoutError as exc:
+                        # no retry: a deterministic run that timed out
+                        # once will time out again
+                        timed_out[key] = exc
+                        todo.pop(key)
+                        _progress()
+                    except BrokenProcessPool:
+                        # only the tasks in flight when the pool broke
+                        # land here; the backlog was never submitted and
+                        # is not charged an attempt
+                        pool_broke = True
+                        attempts[key] += 1
+                    except Exception:
+                        # an ordinary worker error is deterministic;
+                        # don't wait for the rest of the matrix before
+                        # raising it
+                        for pending in futures:
+                            pending.cancel()
+                        raise
+                    else:
+                        todo.pop(key)
+                        _progress()
+                if not pool_broke:
+                    _fill()
         if pool_broke:
             exhausted = sorted(
                 key for key in todo if attempts[key] > crash_retries
             )
+            for key in exhausted:
+                # drop the culprit, keep running everything else
+                crashed[key] = attempts[key]
+                todo.pop(key)
             if exhausted:
-                raise WorkerCrashError(
-                    f"worker process died repeatedly (> {crash_retries} "
-                    f"retries) while running: {', '.join(exhausted)}"
+                logger.warning(
+                    "giving up on %d run(s) after repeated worker "
+                    "deaths: %s", len(exhausted), ", ".join(exhausted),
                 )
-            logger.warning(
-                "worker process died; retrying %d unfinished run(s)",
-                len(todo),
-            )
+            if todo:
+                logger.warning(
+                    "worker process died; retrying %d unfinished run(s)",
+                    len(todo),
+                )
+    if crashed:
+        keys = ", ".join(sorted(crashed))
+        raise WorkerCrashError(
+            f"worker process died repeatedly (> {crash_retries} "
+            f"retries) while running: {keys}"
+        )
     if timed_out:
         keys = ", ".join(sorted(timed_out))
         raise RunTimeoutError(
@@ -233,8 +270,13 @@ def run_specs(
     runner = experiment.run_experiment_safe if safe else experiment.run_experiment
     if pending:
         if jobs <= 1 or len(pending) == 1:
+            # The serial fallback must uphold this function's memo
+            # contract itself (not rely on the runner's internals), so
+            # both execution paths seed the memo identically.
             for key, spec in pending.items():
-                results[key] = runner(spec)
+                result = runner(spec)
+                experiment._memo[key] = result
+                results[key] = result
         else:
             logger.info("running %d spec(s) across %d worker processes",
                         len(pending), jobs)

@@ -114,17 +114,27 @@ class Network:
         for ni in self.interfaces:
             ni.tick(cycle)
 
-    def register(self, sim: "Simulator") -> None:
+    def register(self, sim: "Simulator", nodes=None) -> None:
         """Register each router and NI with ``sim`` as its own component.
 
         Preserves the exact intra-cycle order of :meth:`tick` (all routers,
         then all NIs) while letting the activity-driven kernel skip the
         idle ones.
+
+        ``nodes`` (a set of node ids, or None for all) restricts
+        registration to a shard's local routers/NIs: the sharded engine
+        builds the full network in every worker for deterministic
+        construction, but only the local slice may ever tick.  The
+        relative order among registered components is unchanged, so a
+        shard's intra-cycle schedule is a subsequence of the
+        single-process one.
         """
         for router in self.routers:
-            sim.add(router)
+            if nodes is None or router.node in nodes:
+                sim.add(router)
         for ni in self.interfaces:
-            sim.add(ni)
+            if nodes is None or ni.node in nodes:
+                sim.add(ni)
 
     def in_flight(self) -> int:
         """Flits/messages anywhere in the network or NI queues."""

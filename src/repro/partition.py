@@ -154,3 +154,75 @@ def traffic_crosses_partitions(system: CmpSystem) -> Tuple[int, int]:
     """(cross-partition, total) coherence messages delivered so far."""
     return (system.stats.counter("partition.crossings"),
             system.stats.counter("partition.messages"))
+
+
+# ---------------------------------------------------------------------------
+# Shard geometry for the parallel engine (repro.sim.shard)
+#
+# Unlike the paper's partitions above, shards do not constrain traffic:
+# they split the mesh across worker processes and any cross-shard link
+# becomes a window-buffered boundary channel.  Any exact cover of the
+# mesh is therefore *correct*; horizontal row bands minimise the number
+# of boundary links under XY/YX routing and keep the geometry trivial
+# to reason about (each shard is a contiguous run of rows).
+
+
+def shard_bands(mesh: Mesh, n_shards: int) -> List[List[int]]:
+    """Split ``mesh`` into ``n_shards`` horizontal row bands.
+
+    Bands are assigned top to bottom; on ragged splits (side not a
+    multiple of ``n_shards``) the first ``side % n_shards`` bands get one
+    extra row, so band heights differ by at most one.  Every node lands
+    in exactly one band and every band holds at least one full row.
+    """
+    if not 1 <= n_shards <= mesh.side:
+        raise ValueError(
+            f"need 1 <= shards <= mesh side, got {n_shards} on a "
+            f"{mesh.side}x{mesh.side} mesh"
+        )
+    base, extra = divmod(mesh.side, n_shards)
+    bands: List[List[int]] = []
+    y = 0
+    for index in range(n_shards):
+        height = base + (1 if index < extra else 0)
+        bands.append([mesh.node_at(x, yy)
+                      for yy in range(y, y + height)
+                      for x in range(mesh.side)])
+        y += height
+    assert y == mesh.side
+    return bands
+
+
+def shard_assignment(mesh: Mesh, n_shards: int) -> List[int]:
+    """``assignment[node] -> shard index`` for the row-band split."""
+    assignment = [-1] * mesh.n_nodes
+    for index, nodes in enumerate(shard_bands(mesh, n_shards)):
+        for node in nodes:
+            if assignment[node] != -1:
+                raise ValueError(f"node {node} assigned to two shards")
+            assignment[node] = index
+    missing = [n for n, s in enumerate(assignment) if s == -1]
+    if missing:
+        raise ValueError(f"nodes without a shard: {missing}")
+    return assignment
+
+
+def boundary_links(mesh: Mesh, assignment: Sequence[int]
+                   ) -> List[Tuple[int, "Port", int]]:
+    """Directed mesh edges ``(node, port, neighbor)`` crossing shards.
+
+    Enumerated in a canonical order (ascending node, then port value) so
+    every worker process derives the identical boundary-channel table
+    from the same assignment.
+    """
+    from repro.noc.topology import Port
+
+    edges: List[Tuple[int, Port, int]] = []
+    for node in range(mesh.n_nodes):
+        for port in mesh.router_ports(node):
+            if port is Port.LOCAL:
+                continue
+            neighbor = mesh.neighbor(node, port)
+            if assignment[node] != assignment[neighbor]:
+                edges.append((node, port, neighbor))
+    return edges

@@ -206,6 +206,26 @@ def variant_config(variant: Variant) -> CircuitConfig:
 
 
 @dataclass(frozen=True)
+class SimConfig:
+    """Execution-engine knobs (how the model is simulated, not what it is).
+
+    Nothing here may change simulated behaviour: any legal ``SimConfig``
+    must produce bit-identical stats and finish cycles.  The sharded
+    engine (``repro.sim.shard``) enforces that with A/B equivalence
+    tests.
+    """
+
+    #: Number of single-process shards the mesh is split across.
+    #: ``0`` defers to the ``REPRO_SHARDS`` environment variable
+    #: (unset = 1 = the plain single-process engine).
+    shards: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shards < 0:
+            raise ValueError("sim.shards must be >= 0 (0 = use REPRO_SHARDS)")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Complete description of a simulated CMP."""
 
@@ -214,6 +234,7 @@ class SystemConfig:
     noc: NocConfig = field(default_factory=NocConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     circuit: CircuitConfig = field(default_factory=CircuitConfig)
+    sim: SimConfig = field(default_factory=SimConfig)
 
     def __post_init__(self) -> None:
         side = math.isqrt(self.n_cores)
@@ -221,6 +242,11 @@ class SystemConfig:
             raise ValueError("n_cores must be a perfect square (mesh)")
         if self.cache.num_memory_controllers > self.n_cores:
             raise ValueError("more memory controllers than tiles")
+        if self.sim.shards > side:
+            raise ValueError(
+                f"sim.shards={self.sim.shards} exceeds the mesh side {side} "
+                "(shards are horizontal row bands of >= 1 row)"
+            )
         # Fragmented circuits grow the reply VN to 3 VCs; enforce coherence
         # between the two sub-configs here so callers cannot desynchronise.
         expected = 3 if self.circuit.mode is CircuitMode.FRAGMENTED else 2

@@ -1,0 +1,620 @@
+"""Sharded-mesh parallel simulation: one run spread across processes.
+
+The mesh is split into horizontal row bands (``repro.partition.shard_bands``)
+and each band's activity kernel runs in its own worker process.  The
+architecture's own safety contract - every cross-component channel
+carries >= 1 cycle of latency - is exactly the lookahead a conservative
+parallel discrete-event simulation needs: a flit placed on a boundary
+link during cycle ``c`` cannot be observed by the receiving router before
+cycle ``c + 1 + link_latency``.  Workers therefore advance in lockstep
+windows of ``W`` cycles (``W <= link_latency + 1``) and exchange all
+boundary flits/credits at window barriers; every transferred item lands
+on the receiving replica's link queue strictly before its due cycle, so
+no shard can ever observe an event out of order.
+
+Determinism / bit-identity argument (gated by
+``tests/test_shard_equivalence.py``):
+
+* every worker builds the *complete* :class:`~repro.system.CmpSystem`
+  from the same config/seed - construction and functional prewarm
+  consume the deterministic RNG streams identically everywhere - but
+  registers only its local band with the kernel.  Foreign components
+  keep ``kernel_wake = None`` and never tick;
+* boundary channels are the existing :class:`~repro.noc.link.FlitLink` /
+  :class:`~repro.noc.link.CreditLink` objects: the sender harvests its
+  outbound queues at each barrier, the receiver appends the items - with
+  identical ``due`` cycles - to its replica of the same link object, so
+  router/NI hot paths run unchanged;
+* local components tick in a subsequence of the single-process
+  registration order, and window barriers land exactly on the
+  single-process ``run_until`` check boundaries, so completion cycles
+  and every statistic are bit-identical;
+* per-shard :class:`~repro.sim.stats.Stats` are merged by ascending
+  shard index (all summed quantities are integer-valued, so merged
+  means/histograms are exact).
+
+Message identity across the wire: flits are pickled per destination
+batch, and the receiver canonicalises unpickled copies by ``uid`` (each
+worker draws uids from a disjoint range) so all flits of one message
+share one :class:`~repro.noc.flit.Message` object again, exactly as in a
+single process.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.kernel import DeadlockError, SimulationError
+from repro.sim.stats import Stats
+
+#: Single-process ``run_until`` cadences the barriers must subdivide:
+#: 64 for run_instructions, 16 for drain (both divisible by 16).
+_BASE_INTERVAL = 16
+
+#: Progress-stall window for the coordinator's global deadlock watchdog
+#: (mirrors CmpSystem.run_instructions' ProgressWatchdog default).
+_WATCHDOG_WINDOW = 500_000
+
+#: Seconds the coordinator waits on a silent worker before declaring it
+#: dead.  Generous: a worker only goes silent mid-window, and windows
+#: are a handful of simulated cycles.
+_RECV_TIMEOUT = 1200.0
+
+
+def shard_window(link_latency: int) -> int:
+    """Barrier window width for a given boundary-link latency.
+
+    The safe lookahead is ``link_latency + 1`` cycles (send at ``t`` ->
+    due ``t + 1 + latency``).  The window must also divide the
+    single-process check intervals (16 and 64) so barriers land exactly
+    on ``run_until`` chunk boundaries; we take the largest divisor of 16
+    not exceeding the lookahead.
+    """
+    for width in (16, 8, 4, 2, 1):
+        if width <= link_latency + 1 and _BASE_INTERVAL % width == 0:
+            return width
+    raise AssertionError("unreachable: 1 always qualifies")
+
+
+def resolve_shards(config) -> int:
+    """Effective shard count: ``config.sim.shards`` or ``REPRO_SHARDS``."""
+    shards = config.sim.shards
+    if shards == 0:
+        raw = os.environ.get("REPRO_SHARDS", "").strip()
+        if not raw:
+            return 1
+        try:
+            shards = int(raw)
+        except ValueError:
+            shards = -1
+        if shards < 1:
+            raise ValueError(
+                f"REPRO_SHARDS must be a positive integer, got {raw!r}"
+            )
+    if shards > config.mesh_side:
+        raise ValueError(
+            f"{shards} shards exceed the mesh side {config.mesh_side} "
+            "(shards are horizontal row bands of >= 1 row)"
+        )
+    return shards
+
+
+@dataclass
+class ShardResult:
+    """Outcome of one sharded run (coordinator side)."""
+
+    stats: Stats
+    start_cycle: int
+    finish_cycle: int
+    end_cycle: int
+    n_shards: int
+    window: int
+    wall_seconds: float
+    coordinator_cpu_seconds: float
+    worker_cpu_seconds: List[float] = field(default_factory=list)
+    worker_cpu_seconds_measure: List[float] = field(default_factory=list)
+
+    @property
+    def exec_cycles(self) -> int:
+        return self.finish_cycle - self.start_cycle
+
+
+# ----------------------------------------------------------------------
+# Stats marshalling: Stats objects hold unpicklable flusher closures, so
+# workers ship a plain snapshot and the coordinator rebuilds.
+# ----------------------------------------------------------------------
+
+def _stats_snapshot(stats: Stats):
+    stats.flush()
+    return (
+        dict(stats.counters),
+        {k: (m.total, m.count) for k, m in stats.means.items()},
+        {k: (h.bucket_width, dict(h.buckets), h.count)
+         for k, h in stats.histograms.items()},
+    )
+
+
+def _stats_restore(snapshot) -> Stats:
+    counters, means, histograms = snapshot
+    stats = Stats()
+    stats.counters.update(counters)
+    for key, (total, count) in means.items():
+        stat = stats.means[key]
+        stat.total = total
+        stat.count = count
+    for key, (width, buckets, count) in histograms.items():
+        hist = stats.histograms[key]
+        hist.bucket_width = width
+        hist.buckets.update(buckets)
+        hist.count = count
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Worker side.
+# ----------------------------------------------------------------------
+
+class _ShardAborted(SimulationError):
+    """Coordinator told this worker to stop (another shard failed)."""
+
+
+class _ShardWorker:
+    """One band of the mesh, simulated in this process."""
+
+    def __init__(self, conn, params: dict, index: int) -> None:
+        self.conn = conn
+        self.index = index
+        self.params = params
+        self.window = params["window"]
+
+        # Disjoint uid ranges per shard: uids are only compared for
+        # equality (reassembly maps, circuit keys), never ordered, so
+        # the offset cannot affect simulated behaviour.
+        import repro.noc.flit as flit_mod
+
+        flit_mod._msg_ids = itertools.count(index << 48)
+
+        from repro.cpu.workloads import workload_by_name
+        from repro.system import CmpSystem
+
+        assignment = params["assignment"]
+        local = frozenset(
+            node for node, shard in enumerate(assignment) if shard == index
+        )
+        self.system = CmpSystem(
+            params["config"],
+            workload_by_name(params["workload"]),
+            local_nodes=local,
+        )
+        self.net = self.system.network
+        self.net.shard_flits_imported = 0
+        self.net.shard_flits_exported = 0
+        self.local_cores = [
+            tile.core for tile in self.system.tiles
+            if tile.core is not None and tile.node in local
+        ]
+        self.monitor = None
+        if params["check"]:
+            from repro.validate.invariants import InvariantMonitor
+
+            self.monitor = InvariantMonitor(
+                self.net, system=self.system,
+                interval=params["check_interval"], local_nodes=local,
+            ).attach(self.system.sim)
+
+        # Boundary channel table, identical in every worker: channel
+        # 2i / 2i+1 are the flit / credit links of canonical edge i.
+        # For a directed edge (n, port, m): flits flow on
+        # routers[n].out_flit[port] (owner: shard(n)) and their credits
+        # return on routers[n].in_credit[port] (owner: shard(m)).
+        from repro.partition import boundary_links
+
+        routers = self.net.routers
+        #: (channel, link, destination shard, is_flit) we harvest from.
+        self._out_channels: List[Tuple[int, object, int, bool]] = []
+        #: channel -> (link, is_flit) we append into.
+        self._in_channels: Dict[int, Tuple[object, bool]] = {}
+        for i, (n, port, m) in enumerate(boundary_links(self.net.mesh,
+                                                        assignment)):
+            flit_chan, credit_chan = 2 * i, 2 * i + 1
+            flit_link = routers[n].out_flit[port]
+            credit_link = routers[n].in_credit[port]
+            if assignment[n] == index:
+                self._out_channels.append(
+                    (flit_chan, flit_link, assignment[m], True))
+                self._in_channels[credit_chan] = (credit_link, False)
+            if assignment[m] == index:
+                self._in_channels[flit_chan] = (flit_link, True)
+                self._out_channels.append(
+                    (credit_chan, credit_link, assignment[n], False))
+
+        #: uid -> [canonical Message, flits seen] for in-flight imports.
+        self._canon: Dict[int, list] = {}
+
+    # -- boundary transfer ---------------------------------------------
+    def _harvest(self) -> Tuple[Dict[int, bytes], int]:
+        """Drain every outbound boundary queue into per-shard pickles.
+
+        Returns ``(blobs by destination shard, flits exported)``.
+        Mirrors :meth:`FlitLink.arrivals` bookkeeping on the foreign
+        watcher replica (decrement ``incoming``) so replica state stays
+        internally consistent.
+        """
+        per_dest: Dict[int, list] = {}
+        exported = 0
+        for channel, link, dest, is_flit in self._out_channels:
+            queue = link._queue
+            if not queue:
+                continue
+            items = list(queue)
+            queue.clear()
+            watcher = link.watcher
+            if watcher is not None:
+                watcher.incoming -= len(items)
+            if is_flit:
+                exported += len(items)
+                for _due, flit in items:
+                    # The circuit_resolved hook is a protocol-layer
+                    # closure (unpicklable) that fires exactly once at
+                    # origin-NI injection - strictly before the message's
+                    # flits exist on any wire - so it is always spent by
+                    # the time a flit crosses a shard boundary.
+                    payload = flit.msg.payload
+                    if payload is not None and getattr(
+                            payload, "circuit_resolved", None) is not None:
+                        payload.circuit_resolved = None
+            per_dest.setdefault(dest, []).append((channel, items))
+        if exported:
+            self.net.shard_flits_exported += exported
+        blobs = {
+            dest: pickle.dumps(entries, pickle.HIGHEST_PROTOCOL)
+            for dest, entries in per_dest.items()
+        }
+        return blobs, exported
+
+    def _apply(self, blobs: List[bytes]) -> None:
+        """Append transferred items to the local replicas of their links."""
+        canon = self._canon
+        imported = 0
+        for blob in blobs:
+            for channel, items in pickle.loads(blob):
+                link, is_flit = self._in_channels[channel]
+                queue = link._queue
+                watcher = link.watcher
+                wake = watcher.kernel_wake
+                for due, item in items:
+                    if is_flit:
+                        msg = item.msg
+                        entry = canon.get(msg.uid)
+                        if entry is None:
+                            if msg.n_flits > 1:
+                                canon[msg.uid] = [msg, 1]
+                        else:
+                            item.msg = entry[0]
+                            entry[1] += 1
+                            if entry[1] >= entry[0].n_flits:
+                                del canon[msg.uid]
+                    queue.append((due, item))
+                    watcher.incoming += 1
+                    if wake is not None:
+                        wake(due)
+                if is_flit:
+                    imported += len(items)
+        if imported:
+            self.net.shard_flits_imported += imported
+
+    def _barrier(self, flag_fn=None, wd: bool = False) -> Optional[bool]:
+        """Exchange boundary traffic with every other shard.
+
+        ``flag_fn(exported)`` - evaluated after the harvest, before the
+        imports are applied - supplies this shard's vote for the global
+        AND-reduced done/idle flag; the coordinator's reply carries the
+        reduction (None on flagless barriers).
+        """
+        blobs, exported = self._harvest()
+        flag = None if flag_fn is None else flag_fn(exported)
+        self.conn.send((
+            "b", self.system.sim.cycle, blobs, flag,
+            self.system._progress() if wd else 0, wd,
+        ))
+        reply = self.conn.recv()
+        if reply[0] == "abort":
+            raise _ShardAborted(reply[1])
+        _kind, inbound, global_flag = reply
+        self._apply(inbound)
+        return global_flag
+
+    # -- run control (mirrors Simulator.run_until globally) ------------
+    def _run_until(self, flag_fn, max_cycles: int, check_interval: int,
+                   wd: bool) -> int:
+        """Global ``run_until``: advance in windows, AND-reduce ``flag_fn``.
+
+        Flags are exchanged at exactly the cycles a single-process
+        ``run_until(done, max_cycles, check_interval)`` would evaluate
+        ``done()`` - on entry and after every chunk - so completion
+        cycles are bit-identical.
+        """
+        sim = self.system.sim
+        window = self.window
+        if self._barrier(flag_fn, wd):
+            return sim.cycle
+        deadline = sim.cycle + max_cycles
+        while sim.cycle < deadline:
+            chunk = min(sim.cycle + check_interval, deadline)
+            while True:
+                sim._advance(min(sim.cycle + window, chunk))
+                if sim.cycle >= chunk:
+                    break
+                self._barrier()
+            if self._barrier(flag_fn, wd):
+                return sim.cycle
+        raise DeadlockError(
+            f"simulation did not complete within {max_cycles} cycles",
+            cycle=sim.cycle,
+        )
+
+    def _run_instructions(self, per_core: int,
+                          max_cycles: Optional[int] = None) -> None:
+        if max_cycles is None:
+            max_cycles = 50_000_000
+        for core in self.local_cores:
+            core.set_target(per_core)
+        cores = self.local_cores
+
+        def done(_exported: int) -> bool:
+            return all(core.done for core in cores)
+
+        try:
+            self._run_until(done, max_cycles, check_interval=64, wd=True)
+        finally:
+            self.system.stats.flush()
+
+    def _drain(self, max_cycles: int = 2_000_000) -> None:
+        system = self.system
+
+        def idle(exported: int) -> bool:
+            # Flits harvested this very barrier are in transit between
+            # processes and invisible to both censuses; the sender (us)
+            # vetoes idleness for them.  A single process would have
+            # counted them on the boundary link via in_flight().
+            if exported:
+                return False
+            if system.network.in_flight():
+                return False
+            return all(
+                not tile.l1.busy() and not tile.l2.busy()
+                and (tile.mc is None or not tile.mc.busy())
+                for tile in system.tiles
+            )
+
+        try:
+            self._run_until(idle, max_cycles, check_interval=16, wd=False)
+        finally:
+            system.stats.flush()
+
+    def run(self) -> dict:
+        params = self.params
+        system = self.system
+        cpu_start = time.process_time()
+        # Phase script mirrors run_experiment: warmup() (functional
+        # prewarm + timing warmup + drain + stats reset) only when a
+        # warmup quantum was requested, then the measured phase.
+        if params["warmup_instructions"]:
+            system.functional_prewarm()
+            self._run_instructions(params["warmup_instructions"])
+            self._drain()
+            system.stats.reset()
+            self.net.shard_flits_imported = 0
+            self.net.shard_flits_exported = 0
+        start = system.sim.cycle
+        cpu_measure = time.process_time()
+        self._run_instructions(params["measure_instructions"],
+                               max_cycles=params["max_measure_cycles"])
+        cpu_end = time.process_time()
+        system.stats.flush()
+        return {
+            "stats": _stats_snapshot(system.stats),
+            "start": start,
+            "finish": max(core.finish_cycle for core in self.local_cores),
+            "end_cycle": system.sim.cycle,
+            "cpu_seconds": cpu_end - cpu_start,
+            "cpu_seconds_measure": cpu_end - cpu_measure,
+            "ticks_run": system.sim.ticks_run,
+        }
+
+
+def _shard_worker_main(conn, params: dict, index: int) -> None:
+    try:
+        worker = _ShardWorker(conn, params, index)
+        result = worker.run()
+        conn.send(("done", result))
+    except _ShardAborted:
+        pass  # the coordinator already knows why
+    except BaseException as error:  # marshal across the process boundary
+        try:
+            conn.send(("error", type(error).__name__, str(error)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator side.
+# ----------------------------------------------------------------------
+
+def _recv(conn, proc, index: int):
+    if not conn.poll(_RECV_TIMEOUT):
+        raise SimulationError(
+            f"shard worker {index} unresponsive for {_RECV_TIMEOUT:.0f}s"
+        )
+    try:
+        return conn.recv()
+    except EOFError:
+        raise SimulationError(
+            f"shard worker {index} died (exit code {proc.exitcode})"
+        ) from None
+
+
+def _reraise_worker_error(index: int, kind: str, message: str):
+    from repro.validate.invariants import InvariantViolation
+
+    prefix = f"shard {index}: "
+    if kind == "DeadlockError":
+        raise DeadlockError(prefix + message)
+    if kind == "InvariantViolation":
+        raise InvariantViolation("shard", prefix + message)
+    raise SimulationError(f"{prefix}[{kind}] {message}")
+
+
+def run_sharded(config, workload: str, warmup_instructions: int,
+                measure_instructions: int, n_shards: Optional[int] = None,
+                check: Optional[bool] = None,
+                check_interval: int = 2000,
+                _max_measure_cycles: Optional[int] = None) -> ShardResult:
+    """Execute one CMP run split across ``n_shards`` worker processes.
+
+    Bit-identical (stats, finish cycle) to building the same system in
+    one process and running warmup + measurement there.  ``check``
+    attaches a shard-aware :class:`InvariantMonitor` in every worker
+    (default: the ``REPRO_CHECK`` environment flag, matching
+    ``run_experiment``).
+    """
+    from repro.noc.topology import Mesh
+    from repro.partition import shard_assignment
+
+    if n_shards is None:
+        n_shards = resolve_shards(config)
+    mesh = Mesh(config.mesh_side)
+    assignment = shard_assignment(mesh, n_shards)
+    if check is None:
+        check = os.environ.get("REPRO_CHECK", "") not in ("", "0")
+    params = {
+        "config": config,
+        "workload": workload,
+        "warmup_instructions": warmup_instructions,
+        "measure_instructions": measure_instructions,
+        "assignment": assignment,
+        "window": shard_window(config.noc.link_latency),
+        "check": check,
+        "check_interval": check_interval,
+        "max_measure_cycles": _max_measure_cycles,
+    }
+
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    conns, procs = [], []
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    try:
+        for index in range(n_shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(child_conn, params, index),
+                daemon=True,
+                name=f"repro-shard-{index}",
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+
+        done: List[Optional[dict]] = [None] * n_shards
+        watchdog_last: Optional[Tuple[int, int]] = None  # (value, cycle)
+        while any(result is None for result in done):
+            messages = [
+                _recv(conns[i], procs[i], i) for i in range(n_shards)
+            ]
+            failed = next(
+                (i for i, msg in enumerate(messages) if msg[0] == "error"),
+                None,
+            )
+            if failed is not None:
+                for i, msg in enumerate(messages):
+                    if msg[0] == "b":
+                        conns[i].send(("abort", "another shard failed"))
+                _kind, err_kind, err_message = messages[failed]
+                _reraise_worker_error(failed, err_kind, err_message)
+            if all(msg[0] == "done" for msg in messages):
+                for i, msg in enumerate(messages):
+                    done[i] = msg[1]
+                break
+            # A barrier round: every worker runs the same deterministic
+            # phase script, so mixed barrier/done rounds cannot happen.
+            assert all(msg[0] == "b" for msg in messages), messages
+            cycle = messages[0][1]
+            assert all(msg[1] == cycle for msg in messages), (
+                "shards desynchronised: " + str([m[1] for m in messages])
+            )
+            # Route boundary blobs untouched (bytes pass through; only
+            # the destination worker unpickles).  Sender order is shard
+            # index order, so application order is deterministic.
+            inbound: List[List[bytes]] = [[] for _ in range(n_shards)]
+            for msg in messages:
+                for dest, blob in msg[2].items():
+                    inbound[dest].append(blob)
+            flags = [msg[3] for msg in messages]
+            if any(flag is None for flag in flags):
+                global_flag = None
+            else:
+                global_flag = all(flags)
+            # Global deadlock watchdog, active while every shard runs an
+            # instruction phase (mirrors the single-process
+            # ProgressWatchdog at the coordinator level).
+            if all(msg[5] for msg in messages):
+                progress = sum(msg[4] for msg in messages)
+                if watchdog_last is None or progress != watchdog_last[0]:
+                    watchdog_last = (progress, cycle)
+                elif cycle - watchdog_last[1] >= _WATCHDOG_WINDOW:
+                    for conn in conns:
+                        conn.send(("abort", "global progress stall"))
+                    raise DeadlockError(
+                        f"no progress across {n_shards} shards for "
+                        f"{_WATCHDOG_WINDOW} cycles (cycle {cycle}, last "
+                        f"progress at cycle {watchdog_last[1]})",
+                        cycle=cycle,
+                        last_progress_cycle=watchdog_last[1],
+                    )
+            else:
+                watchdog_last = None
+            for i, conn in enumerate(conns):
+                conn.send(("b", inbound[i], global_flag))
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - cleanup backstop
+                proc.terminate()
+                proc.join(timeout=10)
+
+    wall = time.perf_counter() - wall_start
+    coordinator_cpu = time.process_time() - cpu_start
+    starts = {result["start"] for result in done}
+    assert len(starts) == 1, f"shards disagree on the start cycle: {starts}"
+    ends = {result["end_cycle"] for result in done}
+    assert len(ends) == 1, f"shards disagree on the end cycle: {ends}"
+    merged = Stats()
+    for result in done:  # ascending shard index: deterministic merge
+        merged.merge(_stats_restore(result["stats"]))
+    return ShardResult(
+        stats=merged,
+        start_cycle=starts.pop(),
+        finish_cycle=max(result["finish"] for result in done),
+        end_cycle=ends.pop(),
+        n_shards=n_shards,
+        window=params["window"],
+        wall_seconds=wall,
+        coordinator_cpu_seconds=coordinator_cpu,
+        worker_cpu_seconds=[result["cpu_seconds"] for result in done],
+        worker_cpu_seconds_measure=[
+            result["cpu_seconds_measure"] for result in done
+        ],
+    )

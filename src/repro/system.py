@@ -57,8 +57,16 @@ class CmpSystem:
     def __init__(self, config: SystemConfig,
                  workload: Optional[WorkloadProfile] = None,
                  streams: Optional[list] = None,
-                 home_of: Optional[Callable[[int], int]] = None) -> None:
+                 home_of: Optional[Callable[[int], int]] = None,
+                 local_nodes: Optional[frozenset] = None) -> None:
         self.config = config
+        #: Shard-local node set (None = whole chip).  The sharded engine
+        #: builds the complete system in every worker (construction and
+        #: functional prewarm must consume RNG streams identically), but
+        #: registers only the local slice with the kernel: foreign
+        #: components keep ``kernel_wake = None`` and never tick.
+        self.local_nodes = frozenset(local_nodes) if local_nodes is not None \
+            else None
         self.stats = Stats()
         self.sim = Simulator()
         self.network = Network(config, self.stats)
@@ -102,17 +110,20 @@ class CmpSystem:
         # Tick order: cores issue, controllers run due handlers, then the
         # network moves flits.  All channels carry >= 1 cycle so the order
         # only defines intra-cycle convention, not semantics.
+        local = self.local_nodes
         for tile in self.tiles:
-            if tile.core is not None:
+            if tile.core is not None and (local is None or tile.node in local):
                 self.sim.add(tile.core)
         for tile in self.tiles:
+            if local is not None and tile.node not in local:
+                continue
             self.sim.add(tile.l1)
             self.sim.add(tile.l2)
             if tile.mc is not None:
                 self.sim.add(tile.mc)
         # Routers and NIs register individually (same order as
         # Network.tick) so the kernel can sleep each one on its own.
-        self.network.register(self.sim)
+        self.network.register(self.sim, nodes=local)
 
     def _make_dispatch(self, tile: Tile) -> Callable[[Message, int], None]:
         l1, l2, mc = tile.l1, tile.l2, tile.mc

@@ -203,6 +203,15 @@ class InvariantMonitor:
         declares a blocked VC dead.
     forensics:
         Attach a structured crash report to raised violations.
+    local_nodes:
+        When auditing one shard of a sharded run (``repro.sim.shard``),
+        the set of nodes this process actually simulates.  Checks that
+        cross-reference state living in another process (credit books on
+        boundary edges, orphaned circuit entries, exclusive ownership
+        against stale foreign cache replicas) restrict themselves to the
+        local slice; conservation laws account for flits imported from /
+        exported to other shards via ``net.shard_flits_imported`` /
+        ``net.shard_flits_exported``.
     """
 
     def __init__(
@@ -213,11 +222,14 @@ class InvariantMonitor:
         checks: Optional[Iterable[str]] = None,
         stall_threshold: int = 25_000,
         forensics: bool = True,
+        local_nodes: Optional[Iterable[int]] = None,
     ) -> None:
         if interval < 1:
             raise ValueError("interval must be positive")
         self.net = net
         self.system = system
+        self.local = frozenset(local_nodes) if local_nodes is not None \
+            else None
         self.interval = interval
         self.stall_threshold = stall_threshold
         self.forensics = forensics
@@ -312,16 +324,24 @@ class InvariantMonitor:
         delivered = stats.counter("noc.flits_delivered")
         relayed = stats.counter("noc.flits_relayed")
         census = flit_census(self.net)
-        if injected != delivered + relayed + census:
+        # Sharded runs: flits crossing the shard boundary leave/enter this
+        # process at window barriers; the driver maintains the transfer
+        # counters (zero / absent on single-process nets).
+        imported = getattr(self.net, "shard_flits_imported", 0)
+        exported = getattr(self.net, "shard_flits_exported", 0)
+        if injected + imported != delivered + relayed + exported + census:
             raise self._fail(
                 "flit_conservation", cycle, None,
-                f"injected {injected} flits but delivered {delivered} + "
-                f"relayed {relayed} + in-network {census} = "
-                f"{delivered + relayed + census}",
+                f"injected {injected} + imported {imported} flits but "
+                f"delivered {delivered} + relayed {relayed} + "
+                f"exported {exported} + in-network {census} = "
+                f"{delivered + relayed + exported + census}",
                 {
                     "injected": injected,
+                    "imported": imported,
                     "delivered": delivered,
                     "relayed": relayed,
+                    "exported": exported,
                     "in_network": census,
                 },
             )
@@ -329,7 +349,10 @@ class InvariantMonitor:
     # -- check: credit conservation ------------------------------------
     def check_credit_conservation(self, cycle: int) -> None:
         net = self.net
+        local = self.local
         for router in net.routers:
+            if local is not None and router.node not in local:
+                continue  # books span processes; audited by the owner shard
             granted: Dict[Tuple[Port, int, int], int] = {}
             for _st_cycle, _in_port, vc in router._st_pending:
                 if vc.route is None or vc.route is Port.LOCAL:
@@ -345,7 +368,13 @@ class InvariantMonitor:
                 up = router.in_credit[port]
                 if down is None or up is None:
                     continue
-                neighbor = net.routers[net.mesh.neighbor(router.node, port)]
+                neighbor_node = net.mesh.neighbor(router.node, port)
+                if local is not None and neighbor_node not in local:
+                    # Boundary edge: upstream credits live here, downstream
+                    # occupancy in another process - neither side can sum
+                    # the books alone.
+                    continue
+                neighbor = net.routers[neighbor_node]
                 in_unit = neighbor.inputs[opposite(port)]
                 out_unit = router.outputs[port]
                 edge_granted = {
@@ -361,6 +390,8 @@ class InvariantMonitor:
                     down, up, in_unit, edge_granted,
                 )
         for ni in net.interfaces:
+            if local is not None and ni.node not in local:
+                continue
             if ni.to_router is None or ni.credit_in is None:
                 continue
             in_unit = net.routers[ni.node].inputs[Port.LOCAL]
@@ -438,6 +469,8 @@ class InvariantMonitor:
                 }
                 origin_hops[key] = hops
                 for (node, in_port), hop in hops.items():
+                    if self.local is not None and node not in self.local:
+                        continue  # hop reserved at a router in another shard
                     if hop.window_end is not None and hop.window_end < cycle:
                         continue  # expired windows self-clean lazily
                     table = net.routers[node].inputs[in_port].circuit_table
@@ -492,7 +525,10 @@ class InvariantMonitor:
                         if complete and entry.live(cycle):
                             sharing.append((port, entry))
                         continue
-                    if key not in accounted:
+                    # Orphan detection needs a global view: a local entry
+                    # may be referenced by an origin or in-flight message
+                    # in another shard, so sharded audits skip it.
+                    if self.local is None and key not in accounted:
                         raise self._fail(
                             "circuit_lifecycle", cycle,
                             f"router {router.node} {port.name}",
@@ -550,8 +586,13 @@ class InvariantMonitor:
         from repro.coherence.messages import Kind
 
         exclusive = (L1State.EXCLUSIVE, L1State.MODIFIED)
+        local = self.local
         owners: Dict[int, int] = {}
         for tile in system.tiles:
+            # Foreign tiles in a shard replica hold stale prewarm state
+            # (ownership transfers happen in their own process).
+            if local is not None and tile.node not in local:
+                continue
             for addr, line in tile.l1.array.items():
                 if line.state in exclusive:
                     other = owners.get(addr)
@@ -567,6 +608,8 @@ class InvariantMonitor:
             if msg.kind not in (Kind.GETS, Kind.GETX):
                 continue
             requestor = msg.payload.requestor
+            if local is not None and requestor not in local:
+                continue  # the requestor's MSHR lives in another shard
             l1 = system.tiles[requestor].l1
             pending = l1.pending
             if pending is None or pending[0] != msg.payload.addr:
@@ -577,6 +620,8 @@ class InvariantMonitor:
                     {"addr": msg.payload.addr, "kind": msg.kind},
                 )
         for tile in system.tiles:
+            if local is not None and tile.node not in local:
+                continue
             l2 = tile.l2
             if l2 is None:
                 continue

@@ -54,6 +54,34 @@ def test_circuits_per_input_capacity(capacity, expected):
     chip.run_until_drained(60000)
 
 
+def test_ablation_mesh_scaling():
+    """Paper section 5.5: latencies grow with mesh size (16x16 vs 4x4).
+
+    The 16x16 point (256 tiles, the paper's largest configuration) runs
+    under the sharded engine - the configuration the engine exists for -
+    so this ablation also exercises sharding at scale.
+    """
+    from repro.sim.shard import run_sharded
+
+    measure = 60  # measure-only quantum: 256 pure-Python tiles are slow
+    small = build_system(small_test_config(16, Variant.COMPLETE, seed=3),
+                         workload_by_name("canneal"))
+    start = small.sim.cycle
+    finish = small.run_instructions(measure, max_cycles=2_000_000)
+    small_latency = small.stats.means["lat.net.req"].mean
+
+    big = run_sharded(small_test_config(256, Variant.COMPLETE, seed=3),
+                      "canneal", 0, measure, n_shards=2, check=False)
+    assert big.n_shards == 2
+    assert big.exec_cycles > 0
+    retired = big.stats.counter("core.instructions")
+    if retired:  # counter name guarded: fall back to latency-only check
+        assert retired >= 256 * measure
+    big_latency = big.stats.means["lat.net.req"].mean
+    # average request latency must grow with the mesh diameter
+    assert big_latency > small_latency
+
+
 def test_load_sensitivity_circuits_fail_under_heavy_contention():
     """Paper section 5.5: heavy loads cause conflicts that prevent complete
     circuits from being built."""

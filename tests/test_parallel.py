@@ -125,6 +125,62 @@ def test_per_run_timeout():
     assert time.monotonic() - started < 30
 
 
+def _kill_for_bad(payload):
+    """Kill the worker process for the 'bad' key, succeed for the rest."""
+    kind, path = payload
+    if kind == "bad":
+        os._exit(17)
+    with open(path, "w") as f:
+        f.write(kind)
+    return kind
+
+
+def test_pool_break_charges_only_running_task(tmp_path):
+    """A poisonous task exhausts ITS retries; innocents are not charged.
+
+    Regression: a broken pool used to charge an attempt to every
+    still-pending task, so one configuration that kept killing its
+    worker aborted runs that had never even started.
+    """
+    tasks = {
+        "bad": ("bad", ""),
+        "good-1": ("good-1", str(tmp_path / "good-1")),
+        "good-2": ("good-2", str(tmp_path / "good-2")),
+    }
+    with pytest.raises(parallel.WorkerCrashError) as err:
+        parallel.run_tasks(tasks, worker=_kill_for_bad, jobs=1,
+                           crash_retries=0)
+    # the error names the actual culprit, and only it
+    assert "bad" in str(err.value)
+    assert "good" not in str(err.value)
+    # the innocent tasks were retried and ran to completion
+    assert (tmp_path / "good-1").exists()
+    assert (tmp_path / "good-2").exists()
+
+
+def _maybe_sleep(payload):
+    if payload == "sleep":
+        time.sleep(60)
+    return payload
+
+
+def test_progress_counts_timeouts():
+    """Progress/ETA counts terminal outcomes, timeouts included.
+
+    Regression: the progress callback only fired on the success path
+    and 'done' excluded timed-out runs, so a sweep with timeouts
+    reported a stale count and a wrong ETA.
+    """
+    messages = []
+    with pytest.raises(parallel.RunTimeoutError):
+        parallel.run_tasks(
+            {"quick": "quick", "slow": "sleep"},
+            worker=_maybe_sleep, jobs=2, timeout=0.5, echo=messages.append,
+        )
+    # both runs reached a terminal state, and the progress line said so
+    assert any(msg.startswith("[repro] 2/2") for msg in messages), messages
+
+
 # ---------------------------------------------------------------------------
 # serial/parallel result equality
 
@@ -143,6 +199,36 @@ def test_run_specs_matches_serial_and_seeds_memo():
         assert result.to_json() == serial[key].to_json()
     # the memo was seeded, so serial assembly code gets memo hits
     assert run_experiment(specs[0]) is results[specs[0].scaled().key()]
+
+
+def test_run_specs_serial_fallback_seeds_memo(monkeypatch):
+    """The single-pending-spec fallback seeds the memo like the pool path.
+
+    Regression: the serial branch returned the runner's result without
+    writing ``experiment._memo[key]`` itself, silently relying on the
+    runner's internal memoisation, while the pool branch seeded the
+    memo explicitly.  run_specs' documented memo contract must hold for
+    any runner on both paths.
+    """
+    from repro.harness import experiment
+
+    spec = RunSpec(16, Variant.BASELINE, "water_spatial", seed=1, **SMALL)
+    key = spec.scaled().key()
+    stub_result = experiment.RunResult(
+        spec_key=key, n_cores=16, variant=Variant.BASELINE.value,
+        workload="water_spatial", exec_cycles=123,
+    )
+
+    def stub_runner(s):
+        return stub_result  # deliberately does NOT touch the memo
+
+    monkeypatch.setattr(experiment, "run_experiment", stub_runner)
+    _memo.clear()
+    # one pending spec triggers the serial fallback even with jobs > 1
+    results = parallel.run_specs([spec], jobs=4)
+    assert results[key] is stub_result
+    assert _memo.get(key) is stub_result
+    _memo.clear()
 
 
 def test_run_matrix_parallel_is_bit_identical(monkeypatch, tmp_path):

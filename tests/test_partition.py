@@ -93,3 +93,124 @@ def test_partitioned_chip_runs_circuits():
     assert s.counter("circuit.outcome.on_circuit") > 0
     system.drain()
     assert system.network.live_circuit_entries(system.sim.cycle) == 0
+
+
+# ---------------------------------------------------------------------------
+# shard geometry for the parallel engine (property-based)
+
+
+def _hypothesis():
+    return pytest.importorskip("hypothesis")
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    HAVE_HYPOTHESIS = False
+
+needs_hypothesis = pytest.mark.skipif(
+    not HAVE_HYPOTHESIS, reason="hypothesis not installed"
+)
+
+if HAVE_HYPOTHESIS:
+    # (side, n_shards) with 1 <= n_shards <= side; sides up to 16 cover
+    # ragged splits of non-power-of-two meshes (e.g. 6x6 into 4 bands).
+    mesh_and_shards = st.integers(min_value=2, max_value=16).flatmap(
+        lambda side: st.tuples(
+            st.just(side), st.integers(min_value=1, max_value=side)
+        )
+    )
+
+
+@needs_hypothesis
+@settings(max_examples=200, deadline=None)
+@given(mesh_and_shards)
+def test_shard_bands_cover_every_tile_exactly_once(params):
+    from repro.partition import shard_bands
+
+    side, n_shards = params
+    mesh = Mesh(side)
+    bands = shard_bands(mesh, n_shards)
+    assert len(bands) == n_shards
+    covered = [node for band in bands for node in band]
+    assert sorted(covered) == list(range(mesh.n_nodes))
+    assert len(covered) == len(set(covered))
+    # bands are contiguous whole rows, heights differing by at most one
+    heights = [len(band) // side for band in bands]
+    for band, height in zip(bands, heights):
+        assert len(band) == height * side
+    assert max(heights) - min(heights) <= 1
+    assert all(h >= 1 for h in heights)
+    # top-to-bottom assignment: rows appear in order
+    rows = [y for band in bands for y in
+            sorted({mesh.coords(node)[1] for node in band})]
+    assert rows == list(range(side))
+
+
+@needs_hypothesis
+@settings(max_examples=200, deadline=None)
+@given(mesh_and_shards)
+def test_shard_assignment_is_total_and_consistent(params):
+    from repro.partition import shard_assignment, shard_bands
+
+    side, n_shards = params
+    mesh = Mesh(side)
+    assignment = shard_assignment(mesh, n_shards)
+    assert len(assignment) == mesh.n_nodes
+    assert all(0 <= shard < n_shards for shard in assignment)
+    for index, band in enumerate(shard_bands(mesh, n_shards)):
+        assert all(assignment[node] == index for node in band)
+
+
+@needs_hypothesis
+@settings(max_examples=200, deadline=None)
+@given(mesh_and_shards)
+def test_boundary_links_match_topology_adjacency(params):
+    from repro.noc.topology import Port
+    from repro.partition import boundary_links, shard_assignment
+
+    side, n_shards = params
+    mesh = Mesh(side)
+    assignment = shard_assignment(mesh, n_shards)
+    edges = boundary_links(mesh, assignment)
+    # exactly the directed mesh edges whose endpoints differ in shard
+    expected = []
+    for node in range(mesh.n_nodes):
+        for port in mesh.router_ports(node):
+            if port is Port.LOCAL:
+                continue
+            neighbor = mesh.neighbor(node, port)
+            if assignment[node] != assignment[neighbor]:
+                expected.append((node, port, neighbor))
+    assert edges == expected  # content AND canonical order
+    # every edge is a real mesh adjacency and genuinely cross-shard
+    for node, port, neighbor in edges:
+        assert mesh.neighbor(node, port) == neighbor
+        assert mesh.distance(node, neighbor) == 1
+        assert assignment[node] != assignment[neighbor]
+    # row bands: a band split yields exactly 2*side directed edges per
+    # adjacent band pair (side links, each counted in both directions)
+    assert len(edges) == 2 * side * (n_shards - 1)
+
+
+def test_ragged_shard_split_6x6_into_4():
+    """The ISSUE's canonical ragged case: 6 rows into 4 bands (2,2,1,1)."""
+    from repro.partition import shard_assignment, shard_bands
+
+    mesh = Mesh(6)
+    bands = shard_bands(mesh, 4)
+    assert [len(b) // 6 for b in bands] == [2, 2, 1, 1]
+    assignment = shard_assignment(mesh, 4)
+    assert sorted(assignment) == [0] * 12 + [1] * 12 + [2] * 6 + [3] * 6
+
+
+def test_shard_bands_validation():
+    from repro.partition import shard_bands
+
+    with pytest.raises(ValueError):
+        shard_bands(Mesh(4), 0)
+    with pytest.raises(ValueError):
+        shard_bands(Mesh(4), 5)

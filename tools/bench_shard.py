@@ -1,0 +1,255 @@
+#!/usr/bin/env python
+"""Benchmark the sharded engine: cycles/sec at 1/2/4 shards.
+
+Measures the measured-phase simulation rate of one run executed on the
+single-process engine (the 1-shard baseline) and on the sharded engine
+(``repro.sim.shard``) at 2 and 4 shards, for 8x8 and 16x16 meshes, and
+verifies that every sharded run is bit-identical (stats + finish cycle)
+to its single-process reference.
+
+Metric: the headline rate is **critical-path cycles/sec** =
+``cycles / (max per-worker measured-phase CPU time + coordinator CPU
+time)`` - the standard way to evaluate a conservative-PDES engine on a
+host with fewer cores than shards, because it is what wall-clock
+converges to once each shard owns a core.  Wall-clock cycles/sec is
+recorded alongside it; on a single-CPU host wall time cannot improve
+with shard count (the workers time-share one core), which the JSON
+labels explicitly.
+
+Modes
+-----
+``--smoke``   fast CI gate: one small sharded point must complete and be
+              bit-identical to single-process (no speed assertion - CI
+              machine speed varies).
+default       full benchmark; writes BENCH_shard.json and enforces the
+              >= 1.5x critical-path speedup gate on 16x16 at 4 shards.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cpu.workloads import workload_by_name  # noqa: E402
+from repro.sim.config import Variant, small_test_config  # noqa: E402
+from repro.sim.shard import run_sharded  # noqa: E402
+from repro.system import CmpSystem  # noqa: E402
+
+WORKLOAD = "canneal"
+VARIANT = Variant.COMPLETE
+SEED = 3
+#: Measured instructions per core (measure-only: no warmup, so the whole
+#: run is the timed phase and the comparison is clean).
+MEASURE = {64: 120, 256: 60}
+SPEEDUP_GATE = 1.5  # 16x16 @ 4 shards vs 1 shard, critical-path metric
+
+
+def calibrate(duration: float = 0.25) -> float:
+    """Busy-loop iterations/sec: normalises results across machines."""
+    end = time.perf_counter() + duration
+    iters = 0
+    x = 0
+    while time.perf_counter() < end:
+        for _ in range(10_000):
+            x = (x * 1103515245 + 12345) & 0xFFFFFFFF
+        iters += 10_000
+    return iters / duration
+
+
+def _snapshot(stats):
+    stats.flush()
+    return (
+        dict(stats.counters),
+        {k: (m.total, m.count) for k, m in stats.means.items()},
+        {k: (h.bucket_width, dict(h.buckets), h.count)
+         for k, h in stats.histograms.items()},
+    )
+
+
+def run_single(n_cores: int, measure: int) -> dict:
+    """The 1-shard baseline: the plain single-process engine."""
+    config = small_test_config(n_cores, VARIANT, seed=SEED)
+    system = CmpSystem(config, workload_by_name(WORKLOAD))
+    start = system.sim.cycle
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    finish = system.run_instructions(measure)
+    cpu = time.process_time() - cpu0
+    wall = time.perf_counter() - wall0
+    cycles = finish - start
+    return {
+        "shards": 1,
+        "cycles": cycles,
+        "finish_cycle": finish,
+        "cpu_seconds_critical": cpu,
+        "wall_seconds": wall,
+        "cycles_per_sec_critical": cycles / cpu,
+        "cycles_per_sec_wall": cycles / wall,
+        "snapshot": _snapshot(system.stats),
+    }
+
+
+def run_shards(n_cores: int, measure: int, n_shards: int) -> dict:
+    config = small_test_config(n_cores, VARIANT, seed=SEED)
+    result = run_sharded(config, WORKLOAD, 0, measure,
+                         n_shards=n_shards, check=False)
+    critical = (max(result.worker_cpu_seconds_measure)
+                + result.coordinator_cpu_seconds)
+    cycles = result.exec_cycles
+    return {
+        "shards": n_shards,
+        "cycles": cycles,
+        "finish_cycle": result.finish_cycle,
+        "window": result.window,
+        "cpu_seconds_critical": critical,
+        "worker_cpu_seconds_measure": result.worker_cpu_seconds_measure,
+        "coordinator_cpu_seconds": result.coordinator_cpu_seconds,
+        "wall_seconds": result.wall_seconds,
+        "cycles_per_sec_critical": cycles / critical,
+        "cycles_per_sec_wall": cycles / result.wall_seconds,
+        "snapshot": _snapshot(result.stats),
+    }
+
+
+def bench_mesh(n_cores: int, shard_counts) -> list:
+    measure = MEASURE[n_cores]
+    side = int(n_cores ** 0.5)
+    points = []
+    reference = run_single(n_cores, measure)
+    points.append(reference)
+    print(f"  {side}x{side} 1 shard : "
+          f"{reference['cycles_per_sec_critical']:8.0f} c/s critical "
+          f"({reference['cycles']} cycles, "
+          f"{reference['wall_seconds']:.1f}s wall)")
+    for n_shards in shard_counts:
+        point = run_shards(n_cores, measure, n_shards)
+        point["identical"] = (
+            point["snapshot"] == reference["snapshot"]
+            and point["finish_cycle"] == reference["finish_cycle"]
+        )
+        speedup = (point["cycles_per_sec_critical"]
+                   / reference["cycles_per_sec_critical"])
+        point["speedup_critical_vs_1shard"] = speedup
+        print(f"  {side}x{side} {n_shards} shards: "
+              f"{point['cycles_per_sec_critical']:8.0f} c/s critical "
+              f"({speedup:.2f}x, identical={point['identical']}, "
+              f"{point['wall_seconds']:.1f}s wall)")
+        points.append(point)
+    for point in points:  # snapshots are for verification, not the JSON
+        point.pop("snapshot")
+    return points
+
+
+def smoke() -> int:
+    """CI gate: a sharded run completes and is bit-identical.
+
+    No speed assertion: CI machines (and their core counts) vary, so the
+    smoke gate checks correctness only; the committed BENCH_shard.json
+    documents the measured speedups.
+    """
+    measure = 150
+    config = small_test_config(16, VARIANT, seed=SEED)
+    system = CmpSystem(config, workload_by_name(WORKLOAD))
+    start = system.sim.cycle
+    finish = system.run_instructions(measure)
+    reference = _snapshot(system.stats)
+    failures = 0
+    for n_shards in (2, 4):
+        result = run_sharded(config, WORKLOAD, 0, measure,
+                             n_shards=n_shards, check=False)
+        ok = (_snapshot(result.stats) == reference
+              and result.finish_cycle == finish
+              and result.start_cycle == start)
+        print(f"smoke 4x4 {n_shards} shards: "
+              f"{'bit-identical' if ok else 'MISMATCH'} "
+              f"({result.exec_cycles} cycles, "
+              f"{result.wall_seconds:.1f}s wall)")
+        failures += 0 if ok else 1
+    if failures:
+        print(f"SMOKE FAILED: {failures} sharded run(s) diverged")
+        return 1
+    print("smoke OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI gate (bit-identity only)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: BENCH_shard.json "
+                             "next to the repo root)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="measure and write JSON without enforcing "
+                             "the speedup gate")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return smoke()
+
+    out_path = args.out or os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_shard.json"
+    )
+    iters = calibrate()
+    print(f"calibration: {iters / 1e6:.1f}M busy-loop iters/sec")
+    data = {
+        "schema": 1,
+        "workload": WORKLOAD,
+        "variant": VARIANT.value,
+        "seed": SEED,
+        "measure_instructions": {str(k): v for k, v in MEASURE.items()},
+        "metric": (
+            "cycles_per_sec_critical = cycles / (max per-worker "
+            "measured-phase CPU seconds + coordinator CPU seconds); the "
+            "critical-path rate a multi-core host converges to. "
+            "cycles_per_sec_wall is the observed wall rate on THIS host "
+            f"(os.cpu_count()={os.cpu_count()}): with fewer cores than "
+            "shards the workers time-share and wall time cannot improve."
+        ),
+        "host_cpu_count": os.cpu_count(),
+        "calibration_iters_per_sec": iters,
+        "meshes": {},
+    }
+    for n_cores in (64, 256):
+        side = int(n_cores ** 0.5)
+        print(f"{side}x{side} mesh ({n_cores} tiles):")
+        data["meshes"][f"{side}x{side}"] = bench_mesh(n_cores, (2, 4))
+
+    gate_points = data["meshes"]["16x16"]
+    four = next(p for p in gate_points if p["shards"] == 4)
+    data["aggregate"] = {
+        "speedup_16x16_4shards_critical":
+            four["speedup_critical_vs_1shard"],
+        "all_identical": all(
+            p.get("identical", True)
+            for pts in data["meshes"].values() for p in pts
+        ),
+        "gate": SPEEDUP_GATE,
+    }
+    with open(out_path, "w") as f:
+        json.dump(data, f, indent=2)
+        f.write("\n")
+    print(f"wrote {os.path.abspath(out_path)}")
+
+    if not data["aggregate"]["all_identical"]:
+        print("FAILED: a sharded run diverged from single-process")
+        return 1
+    if (not args.no_gate
+            and four["speedup_critical_vs_1shard"] < SPEEDUP_GATE):
+        print(f"FAILED: 16x16 @ 4 shards critical-path speedup "
+              f"{four['speedup_critical_vs_1shard']:.2f}x < "
+              f"{SPEEDUP_GATE}x gate")
+        return 1
+    print(f"gate OK: 16x16 @ 4 shards = "
+          f"{four['speedup_critical_vs_1shard']:.2f}x critical-path "
+          f"speedup (gate {SPEEDUP_GATE}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
