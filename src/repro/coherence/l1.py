@@ -16,6 +16,7 @@ State machine notes:
 from __future__ import annotations
 
 import enum
+from functools import partial
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.coherence.base import ScheduledController
@@ -133,7 +134,9 @@ class L1Controller(ScheduledController):
             Kind.FWD_GETX: self._on_forward,
         }[msg.kind]
         latency = self.config.cache.l1_hit_cycles
-        self.schedule(cycle + latency, lambda c, m=msg: handler(m, c))
+        # partial, not a lambda: pending events must survive checkpoint
+        # pickling (repro.sim.checkpoint).
+        self.schedule(cycle + latency, partial(handler, msg))
 
     def _on_data(self, msg: Message, cycle: int) -> None:
         addr = msg.payload.addr

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
+from functools import partial
 from typing import Callable, Deque, Dict, Optional, Set
 
 from repro.coherence.base import ScheduledController
@@ -120,8 +121,10 @@ class L2BankController(ScheduledController):
             Kind.MEMORY_DATA: self._on_memory_data,
             Kind.MEMORY_ACK: self._on_memory_ack,
         }[msg.kind]
+        # partial, not a lambda: pending events must survive checkpoint
+        # pickling (repro.sim.checkpoint).
         self.schedule(cycle + self.config.cache.l2_hit_cycles,
-                      lambda c, m=msg: handler(m, c))
+                      partial(handler, msg))
 
     # -- demand requests ---------------------------------------------------
     def _on_request(self, msg: Message, cycle: int) -> None:
@@ -163,7 +166,7 @@ class L2BankController(ScheduledController):
             if victim is None:
                 # Every way busy: retry after another directory access.
                 self.schedule(cycle + self.config.cache.l2_hit_cycles,
-                              lambda c, m=msg: self._on_request(m, c))
+                              partial(self._on_request, msg))
                 self.stats.bump("l2.fetch_retries")
                 return
             self._start_eviction(victim, cycle)
@@ -247,8 +250,8 @@ class L2BankController(ScheduledController):
         self.txns[addr] = txn
         reply = self.factory.l2_reply(self.node, msg.src, addr,
                                       msg, exclusive)
-        reply.payload.circuit_resolved = (
-            lambda used, cyc, t=txn, r=reply: self._on_reply_resolved(t, r, used, cyc)
+        reply.payload.circuit_resolved = partial(
+            self._on_reply_resolved, txn, reply
         )
         self.ni.enqueue(reply, cycle)
 
@@ -324,8 +327,8 @@ class L2BankController(ScheduledController):
                                           txn.request, True)
             if txn.circuit_cancelled:
                 reply.outcome_hint = "undone"
-            reply.payload.circuit_resolved = (
-                lambda used, cyc, t=txn, r=reply: self._on_reply_resolved(t, r, used, cyc)
+            reply.payload.circuit_resolved = partial(
+                self._on_reply_resolved, txn, reply
             )
             self.ni.enqueue(reply, cycle)
 
@@ -358,8 +361,8 @@ class L2BankController(ScheduledController):
                                       txn.request, True)
         if txn.circuit_cancelled:
             reply.outcome_hint = "undone"
-        reply.payload.circuit_resolved = (
-            lambda used, cyc, t=txn, r=reply: self._on_reply_resolved(t, r, used, cyc)
+        reply.payload.circuit_resolved = partial(
+            self._on_reply_resolved, txn, reply
         )
         self.ni.enqueue(reply, cycle)
 

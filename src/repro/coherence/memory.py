@@ -7,6 +7,8 @@ circuit-eligible: the L2 bank's request reserves their return path.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.coherence.base import ScheduledController
 from repro.coherence.messages import Kind, MessageFactory
 from repro.noc.flit import Message
@@ -27,10 +29,12 @@ class MemoryController(ScheduledController):
 
     def receive(self, msg: Message, cycle: int) -> None:
         due = cycle + self.config.cache.memory_latency_cycles
+        # partials, not lambdas: pending events must survive checkpoint
+        # pickling (repro.sim.checkpoint).
         if msg.kind == Kind.MEM_READ:
-            self.schedule(due, lambda c, m=msg: self._read_done(m, c))
+            self.schedule(due, partial(self._read_done, msg))
         elif msg.kind == Kind.WB_L2:
-            self.schedule(due, lambda c, m=msg: self._write_done(m, c))
+            self.schedule(due, partial(self._write_done, msg))
         else:  # pragma: no cover - dispatch invariant
             raise ValueError(f"memory controller got {msg.kind}")
 

@@ -8,6 +8,9 @@ Usage::
     python -m repro.harness table1 --check    # audit invariants while running
     python -m repro.harness check             # monitored clean variant sweep
     python -m repro.harness inject            # seeded fault-injection campaign
+    python -m repro.harness chaos             # process-level chaos campaign:
+                                              # kill/wedge/corrupt, prove
+                                              # recovery is bit-identical
     python -m repro.harness trace --workload fft    # telemetry: Perfetto
                                               # trace + metric time series
     python -m repro.harness profile           # kernel wall-time profile
@@ -20,6 +23,13 @@ Environment:
     REPRO_CHECK      1 = run the invariant monitor inside every experiment
     REPRO_FAILFAST   1 = abort sweeps on the first failing run
     REPRO_CRASH_DIR  where crash reports land (default out/crash)
+    REPRO_SHARDS     split each run across N worker processes (bit-identical)
+    REPRO_CHECKPOINT cycles between durable checkpoints (0/unset = off)
+    REPRO_CHECKPOINT_DIR  checkpoint root (default out/checkpoint)
+    REPRO_RESUME     1 = resume interrupted runs from their checkpoints
+    REPRO_SHARD_TIMEOUT   seconds before a silent shard worker is declared
+                          dead and respawned (default 1200)
+    REPRO_SHARD_RESPAWNS  respawn budget per shard worker (default 2)
 """
 
 from __future__ import annotations
@@ -161,6 +171,27 @@ def cmd_inject(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Process-level chaos campaign: every injected fault must either
+    recover bit-identically or fail with its precise typed error."""
+    from repro.validate import run_chaos_campaign
+    from repro.validate.chaos import PIPELINES
+
+    pipelines = PIPELINES if args.full else ("fastpath",)
+    print(f"Chaos campaign (pipelines: {', '.join(pipelines)})", flush=True)
+    outcomes = run_chaos_campaign(
+        pipelines=pipelines,
+        echo=lambda msg: print(msg, flush=True),
+    )
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        print(f"{len(failures)} chaos scenario(s) FAILED", flush=True)
+        return 1
+    print(f"all {len(outcomes)} chaos scenarios held: recovery is "
+          f"deterministic", flush=True)
+    return 0
+
+
 def _parse_variant(name: str):
     try:
         return Variant(name)
@@ -278,7 +309,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument("what", nargs="?", default=None,
                         choices=list(COMMANDS) + ["all", "check", "inject",
-                                                  "trace", "profile"])
+                                                  "chaos", "trace",
+                                                  "profile"])
     parser.add_argument("--cores", type=int, default=16,
                         help="chip size (16 or 64; default 16)")
     parser.add_argument("--seed", type=int, default=1)
@@ -322,6 +354,8 @@ def main(argv=None) -> int:
         return cmd_inject(args)
     if args.what == "check" or (args.what is None and args.check):
         return cmd_check(args)
+    if args.what == "chaos":
+        return cmd_chaos(args)
     if args.what == "trace":
         return cmd_trace(args)
     if args.what == "profile":

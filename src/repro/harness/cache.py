@@ -16,7 +16,8 @@ read and write it at once, so the layer guarantees:
 * **quarantine**: a corrupt or unreadable cache file is renamed to
   ``<path>.corrupt.<pid>.<n>`` (and a warning logged) instead of being
   silently ignored -- the evidence survives, and subsequent runs start
-  from a clean file rather than re-quarantining forever.
+  from a clean file rather than re-quarantining forever.  Only the
+  newest ``QUARANTINE_KEEP`` quarantined files are retained.
 
 Files written by pre-versioning releases (a bare ``{key: entry}`` dict)
 are still read, and upgraded to the current schema on the next write.
@@ -36,6 +37,10 @@ logger = logging.getLogger("repro.harness.cache")
 
 #: Bump when the on-disk layout changes incompatibly.
 SCHEMA_VERSION = 1
+
+#: Quarantined ``.corrupt.*`` siblings kept per cache file; older ones
+#: are pruned so a flaky disk cannot grow the directory without bound.
+QUARANTINE_KEEP = 5
 
 
 class CacheLockTimeout(RuntimeError):
@@ -173,6 +178,39 @@ class ResultCache:
             return  # another process already moved or removed it
         logger.warning("quarantined corrupt result cache %s -> %s: %s",
                        self.path, dest, reason)
+        self._prune_quarantine()
+
+    def _prune_quarantine(self) -> None:
+        """Keep only the newest ``QUARANTINE_KEEP`` quarantined files.
+
+        A repeatedly-corrupted cache (bad disk, crashing writers) must
+        not grow an unbounded pile of ``.corrupt.*`` siblings.
+        """
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        prefix = os.path.basename(self.path) + ".corrupt."
+        try:
+            names = [n for n in os.listdir(directory)
+                     if n.startswith(prefix)]
+        except OSError:  # pragma: no cover - directory vanished
+            return
+        if len(names) <= QUARANTINE_KEEP:
+            return
+
+        def mtime(name: str) -> float:
+            try:
+                return os.path.getmtime(os.path.join(directory, name))
+            except OSError:
+                return 0.0
+
+        names.sort(key=mtime, reverse=True)
+        for name in names[QUARANTINE_KEEP:]:
+            victim = os.path.join(directory, name)
+            try:
+                os.unlink(victim)
+            except OSError:  # pragma: no cover - concurrent prune
+                continue
+            logger.warning("pruned old quarantined cache file %s "
+                           "(keeping newest %d)", victim, QUARANTINE_KEEP)
 
     # -- writing ---------------------------------------------------------
 

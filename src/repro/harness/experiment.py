@@ -302,6 +302,38 @@ def _assemble_result(spec: RunSpec, key: str, config: SystemConfig,
     )
 
 
+def _checkpoint_interval(config: SystemConfig) -> int:
+    """Cycles between durable checkpoints (0 = periodic checkpoints off).
+
+    ``config.sim.checkpoint_interval`` wins; otherwise the
+    ``REPRO_CHECKPOINT`` environment variable.  Checkpointing is an
+    execution-engine concern: results are bit-identical with or without
+    it, so it is deliberately absent from cache keys.
+    """
+    if config.sim.checkpoint_interval:
+        return config.sim.checkpoint_interval
+    raw = os.environ.get("REPRO_CHECKPOINT", "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            value = -1
+        if value <= 0:
+            raise ValueError(
+                f"REPRO_CHECKPOINT must be a positive cycle count, "
+                f"got {raw!r}"
+            )
+        return value
+    return 0
+
+
+def _checkpoint_dir(spec_key: str) -> str:
+    """Per-run checkpoint directory, keyed by the run's spec key."""
+    base = os.environ.get("REPRO_CHECKPOINT_DIR", "").strip() \
+        or os.path.join("out", "checkpoint")
+    return os.path.join(base, spec_key.replace("/", "_"))
+
+
 _warned_observed_shards = False
 
 
@@ -343,6 +375,14 @@ def run_experiment(spec: RunSpec) -> RunResult:
     ``n`` row bands simulated in ``n`` worker processes.  Sharded results
     are bit-identical to single-process ones, so they share the same memo
     and disk-cache entries.
+
+    With ``REPRO_CHECKPOINT=<cycles>`` (or ``config.sim.checkpoint_interval``)
+    the run writes periodic durable checkpoints (:mod:`repro.sim.checkpoint`)
+    under ``REPRO_CHECKPOINT_DIR`` (default ``out/checkpoint``), keyed by
+    the spec key; ``REPRO_RESUME=1`` restarts an interrupted run from its
+    newest checkpoint.  Checkpointed, resumed and plain runs are all
+    bit-identical, so they share cache entries too.  Telemetry-observed
+    runs never checkpoint.
     """
     spec = spec.scaled()
     key = spec.key()
@@ -362,16 +402,83 @@ def run_experiment(spec: RunSpec) -> RunResult:
     )
     shards = _resolved_shards(spec, config)
     if shards > 1:
-        from repro.sim.shard import run_sharded
+        from repro.sim.shard import _SNAPSHOT_RE, run_sharded
 
+        ckpt_kwargs = {}
+        interval = _checkpoint_interval(config)
+        if interval:
+            # A persistent directory lets a killed *coordinator* be
+            # resumed; without one the engine still self-heals worker
+            # deaths via a private temporary directory.
+            directory = _checkpoint_dir(key)
+            resume = env_flag("REPRO_RESUME") and os.path.isdir(directory) \
+                and any(_SNAPSHOT_RE.match(name)
+                        for name in os.listdir(directory))
+            ckpt_kwargs = dict(checkpoint_dir=directory,
+                               checkpoint_interval=interval, resume=resume)
         sharded = run_sharded(
             config, spec.workload, spec.warmup_instructions,
             spec.measure_instructions, n_shards=shards,
             check=env_flag("REPRO_CHECK"),
             check_interval=_check_interval(),
+            **ckpt_kwargs,
         )
         result = _assemble_result(spec, key, config, sharded.stats,
                                   sharded.exec_cycles)
+        _memo[key] = result
+        _store_disk(result)
+        return result
+
+    interval = 0 if spec.observed else _checkpoint_interval(config)
+    if interval:
+        # Checkpointed single-process run: phase-for-phase equivalent of
+        # the plain path below, so results (and cache entries) are
+        # bit-identical.  Observed runs never checkpoint - instruments
+        # hold live object references that cannot be restored.
+        from repro.sim.checkpoint import (
+            CheckpointPolicy,
+            fingerprint,
+            read_checkpoint,
+            restore_system,
+            resume_checkpointed,
+            run_checkpointed,
+        )
+
+        policy = CheckpointPolicy(
+            _checkpoint_dir(key), interval,
+            fingerprint(config, spec.workload, spec.warmup_instructions,
+                        spec.measure_instructions),
+        )
+        if env_flag("REPRO_RESUME") and policy.has_checkpoint():
+            _header, payload = read_checkpoint(
+                policy.path, kind="run", config_hash=policy.config_hash
+            )
+            data = restore_system(payload)
+            system = data["system"]
+            if env_flag("REPRO_CHECK"):
+                from repro.validate import InvariantMonitor
+
+                InvariantMonitor(
+                    system.network, system=system,
+                    interval=_check_interval(),
+                ).attach(system.sim)
+            start, finish = resume_checkpointed(system, data["run"], policy)
+        else:
+            system = build_system(config, workload_by_name(spec.workload))
+            if env_flag("REPRO_CHECK"):
+                from repro.validate import InvariantMonitor
+
+                InvariantMonitor(
+                    system.network, system=system,
+                    interval=_check_interval(),
+                ).attach(system.sim)
+            start, finish = run_checkpointed(
+                system, spec.warmup_instructions,
+                spec.measure_instructions, policy,
+            )
+        policy.discard()  # completed: recovery data is moot
+        result = _assemble_result(spec, key, config, system.stats,
+                                  finish - start)
         _memo[key] = result
         _store_disk(result)
         return result

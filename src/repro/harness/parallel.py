@@ -19,6 +19,13 @@ Determinism: a run's measurements depend only on its spec (seeds
 included), never on scheduling, and results are assembled by spec key,
 so parallel and serial execution produce bit-identical
 :class:`RunResult` values.
+
+Crash recovery composes with checkpointing (``REPRO_CHECKPOINT`` /
+``REPRO_RESUME``, see :mod:`repro.sim.checkpoint`): workers inherit the
+environment and checkpoint directories are keyed by spec key, so each
+run in a parallel sweep checkpoints independently and a re-submitted
+sweep resumes every interrupted run from its own newest snapshot —
+completed runs come straight from the result cache.
 """
 
 from __future__ import annotations

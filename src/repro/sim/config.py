@@ -220,9 +220,27 @@ class SimConfig:
     #: (unset = 1 = the plain single-process engine).
     shards: int = 0
 
+    #: Cycles between durable checkpoints (``repro.sim.checkpoint``).
+    #: ``0`` defers to the ``REPRO_CHECKPOINT`` environment variable
+    #: (unset = no periodic checkpoints).  Checkpoints are captured on
+    #: run-control chunk boundaries, so restored runs stay bit-identical.
+    checkpoint_interval: int = 0
+
+    #: Seconds the shard coordinator waits for a worker's barrier
+    #: message before declaring it unresponsive.  ``0.0`` defers to the
+    #: ``REPRO_SHARD_TIMEOUT`` environment variable (unset = 1200s).
+    shard_timeout: float = 0.0
+
     def __post_init__(self) -> None:
         if self.shards < 0:
             raise ValueError("sim.shards must be >= 0 (0 = use REPRO_SHARDS)")
+        if self.checkpoint_interval < 0:
+            raise ValueError(
+                "sim.checkpoint_interval must be >= 0 "
+                "(0 = use REPRO_CHECKPOINT)")
+        if self.shard_timeout < 0:
+            raise ValueError(
+                "sim.shard_timeout must be >= 0 (0 = use REPRO_SHARD_TIMEOUT)")
 
 
 @dataclass(frozen=True)

@@ -171,6 +171,62 @@ class Simulator:
 
         return wake
 
+    def rewire_wakes(self) -> None:
+        """Re-attach every component's ``kernel_wake`` closure.
+
+        Wake closures are wiring, not state: checkpointing
+        (:mod:`repro.sim.checkpoint`) drops them at pickle time and calls
+        this after unpickling so the restored graph pokes the restored
+        simulator.  Slot membership, the awake set and the wake heap are
+        ordinary data and round-trip through pickle untouched.
+        """
+        for slot in self._slots:
+            try:
+                slot.component.kernel_wake = self._make_wake(slot)
+            except AttributeError:  # pragma: no cover - slotted component
+                pass
+
+    # -- checkpointing ------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle everything except the watchdog hooks.
+
+        Watchdogs (progress, invariants, checkpointing) are re-attached
+        fresh by the run control that resumes a checkpoint; they are
+        observation-only, so dropping them cannot change simulated
+        behaviour.
+        """
+        state = self.__dict__.copy()
+        state["_watchdogs"] = []
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def checkpoint(self) -> bytes:
+        """Serialise this simulator (and its component graph) to bytes.
+
+        The bytes contain the complete kernel state - clock, slots, awake
+        set, wake heap, skip counters - plus every registered component
+        reachable from it.  See :mod:`repro.sim.checkpoint` for the
+        closure policy and the typed errors raised for unpicklable state.
+        """
+        from repro.sim.checkpoint import dumps_state
+
+        return dumps_state(self)
+
+    @staticmethod
+    def restore(blob: bytes) -> "Simulator":
+        """Rebuild a simulator from :meth:`checkpoint` bytes and rewire it."""
+        from repro.sim.checkpoint import loads_state
+
+        sim = loads_state(blob)
+        if not isinstance(sim, Simulator):  # pragma: no cover - misuse trap
+            raise SimulationError(
+                f"checkpoint blob holds {type(sim).__name__}, not a Simulator"
+            )
+        sim.rewire_wakes()
+        return sim
+
     def add_watchdog(self, hook: Callable[[int], None]) -> None:
         """Register a hook invoked after every executed cycle.
 

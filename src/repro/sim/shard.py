@@ -38,6 +38,28 @@ batch, and the receiver canonicalises unpickled copies by ``uid`` (each
 worker draws uids from a disjoint range) so all flits of one message
 share one :class:`~repro.noc.flit.Message` object again, exactly as in a
 single process.
+
+Self-healing supervision (``repro.sim.checkpoint`` underneath): barriers
+are numbered by a monotonic *sequence* (cycles alone are ambiguous -
+phase transitions stack several barriers on one cycle).  Each worker
+periodically snapshots its full replica at a barrier, *after* applying
+that barrier's reply, and reports the snapshot's seq back; the
+coordinator keeps, per shard, a replay log of every barrier reply since
+the last acknowledged snapshot.  When a worker dies or goes silent past
+the receive timeout, the coordinator respawns the shard from its last
+snapshot (or from scratch, before the first one) and feeds it the
+logged replies: the replacement replays *silently* - outbound traffic
+it re-harvests was already delivered, so it is discarded - until the
+log runs dry, at which point it is exactly at the barrier the others
+are waiting on and rejoins live.  Replay is deterministic, so the
+recovered run stays bit-identical.  Respawns are bounded; anything a
+worker reports *deterministically* (deadlock, invariant violation,
+corrupt snapshot) is not retried - only process death/unresponsiveness
+is.  Workers keep their two newest snapshots on disk: all workers
+snapshot at identical barrier seqs (the rule depends only on global
+quantities), so after a *coordinator* death the newest seq present in
+every shard is a consistent global cut, and ``run_sharded(...,
+resume=True)`` restarts the whole run from it with empty replay logs.
 """
 
 from __future__ import annotations
@@ -46,10 +68,21 @@ import itertools
 import multiprocessing
 import os
 import pickle
+import re
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.sim.checkpoint import (
+    CheckpointError,
+    capture_system,
+    fingerprint,
+    read_checkpoint,
+    restore_system,
+    write_checkpoint,
+)
 from repro.sim.kernel import DeadlockError, SimulationError
 from repro.sim.stats import Stats
 
@@ -61,10 +94,37 @@ _BASE_INTERVAL = 16
 #: (mirrors CmpSystem.run_instructions' ProgressWatchdog default).
 _WATCHDOG_WINDOW = 500_000
 
-#: Seconds the coordinator waits on a silent worker before declaring it
-#: dead.  Generous: a worker only goes silent mid-window, and windows
-#: are a handful of simulated cycles.
+#: Default seconds the coordinator waits on a silent worker before
+#: declaring it dead (``config.sim.shard_timeout`` / ``REPRO_SHARD_TIMEOUT``
+#: override).  Generous: a worker only goes silent mid-window, and
+#: windows are a handful of simulated cycles.
 _RECV_TIMEOUT = 1200.0
+
+#: Recovery-snapshot cadence (simulated cycles) when neither
+#: ``checkpoint_interval`` nor config/environment specify one.
+_DEFAULT_SNAPSHOT_INTERVAL = 50_000
+
+#: Snapshots each worker retains on disk.  Two is exactly enough for the
+#: coordinator-death consistent cut: workers write a given seq at most
+#: one lockstep round apart, so every worker always still holds the
+#: previous common seq while the newest one spreads.
+_SNAPSHOTS_KEPT = 2
+
+#: Default respawn budget per shard (``REPRO_SHARD_RESPAWNS`` overrides).
+_DEFAULT_RESPAWN_LIMIT = 2
+
+#: Floor (seconds) on the first receive after a respawn: the replacement
+#: must rebuild or restore a full system and replay before it can speak.
+_RESPAWN_RECV_FLOOR = 120.0
+
+#: How often (seconds) a worker blocked at a barrier checks whether the
+#: coordinator is still alive.  With the fork start method every worker
+#: inherits duplicate fds of its siblings' pipes, so a SIGKILLed
+#: coordinator never produces EOF - the orphan check is the only way a
+#: stranded worker ever exits.
+_ORPHAN_POLL_S = 5.0
+
+_SNAPSHOT_RE = re.compile(r"^shard(\d+)-seq(\d{8})\.ckpt$")
 
 
 def shard_window(link_latency: int) -> int:
@@ -105,6 +165,93 @@ def resolve_shards(config) -> int:
     return shards
 
 
+def resolve_shard_timeout(config=None, override: Optional[float] = None
+                          ) -> float:
+    """Worker receive timeout: explicit > config > environment > default."""
+    if override is not None:
+        if override <= 0:
+            raise ValueError("shard timeout must be positive")
+        return override
+    if config is not None and config.sim.shard_timeout:
+        return config.sim.shard_timeout
+    raw = os.environ.get("REPRO_SHARD_TIMEOUT", "").strip()
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            value = -1.0
+        if value <= 0:
+            raise ValueError(
+                f"REPRO_SHARD_TIMEOUT must be a positive number of "
+                f"seconds, got {raw!r}"
+            )
+        return value
+    return _RECV_TIMEOUT
+
+
+def _resolve_respawn_limit(override: Optional[int] = None) -> int:
+    if override is not None:
+        if override < 0:
+            raise ValueError("respawn limit must be >= 0")
+        return override
+    raw = os.environ.get("REPRO_SHARD_RESPAWNS", "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            value = -1
+        if value < 0:
+            raise ValueError(
+                f"REPRO_SHARD_RESPAWNS must be a non-negative integer, "
+                f"got {raw!r}"
+            )
+        return value
+    return _DEFAULT_RESPAWN_LIMIT
+
+
+def _resolve_snapshot_interval(config, override: Optional[int]) -> int:
+    if override is not None:
+        if override <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        return override
+    if config.sim.checkpoint_interval:
+        return config.sim.checkpoint_interval
+    raw = os.environ.get("REPRO_CHECKPOINT", "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            value = -1
+        if value <= 0:
+            raise ValueError(
+                f"REPRO_CHECKPOINT must be a positive cycle count, "
+                f"got {raw!r}"
+            )
+        return value
+    return _DEFAULT_SNAPSHOT_INTERVAL
+
+
+class ShardWorkerDied(SimulationError):
+    """A worker process died or went silent past the receive timeout.
+
+    Recoverable: the supervisor respawns the shard from its last
+    snapshot.  Surfaces to the caller only once the respawn budget is
+    exhausted (wrapped in :class:`ShardRecoveryError`).
+    """
+
+    def __init__(self, message: str, shard: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
+class ShardRecoveryError(SimulationError):
+    """Self-healing gave up: respawn budget exhausted or no usable cut."""
+
+    def __init__(self, message: str, shard: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
 @dataclass
 class ShardResult:
     """Outcome of one sharded run (coordinator side)."""
@@ -119,6 +266,8 @@ class ShardResult:
     coordinator_cpu_seconds: float
     worker_cpu_seconds: List[float] = field(default_factory=list)
     worker_cpu_seconds_measure: List[float] = field(default_factory=list)
+    #: Worker processes respawned by the self-healing supervisor.
+    respawns: int = 0
 
     @property
     def exec_cycles(self) -> int:
@@ -156,6 +305,10 @@ def _stats_restore(snapshot) -> Stats:
     return stats
 
 
+def _snapshot_path(directory: str, index: int, seq: int) -> str:
+    return os.path.join(directory, f"shard{index}-seq{seq:08d}.ckpt")
+
+
 # ----------------------------------------------------------------------
 # Worker side.
 # ----------------------------------------------------------------------
@@ -167,11 +320,17 @@ class _ShardAborted(SimulationError):
 class _ShardWorker:
     """One band of the mesh, simulated in this process."""
 
-    def __init__(self, conn, params: dict, index: int) -> None:
+    def __init__(self, conn, params: dict, index: int,
+                 replay: Optional[list] = None,
+                 chaos: Optional[dict] = None) -> None:
         self.conn = conn
         self.index = index
         self.params = params
         self.window = params["window"]
+        self._chaos = chaos
+        self._replay = list(replay or [])
+        self._seq = 0          # next barrier sequence number
+        self._snap_seq = 0     # seq of the last durable snapshot (0 = none)
 
         # Disjoint uid ranges per shard: uids are only compared for
         # equality (reassembly maps, circuit keys), never ordered, so
@@ -195,10 +354,52 @@ class _ShardWorker:
         self.net = self.system.network
         self.net.shard_flits_imported = 0
         self.net.shard_flits_exported = 0
+
+        #: uid -> [canonical Message, flits seen] for in-flight imports.
+        self._canon: Dict[int, list] = {}
+        #: Phase-script position; snapshotted alongside the system so a
+        #: respawned replacement re-enters the interrupted phase exactly.
+        self._run_state: dict = {"phase": None, "start": None}
+        self._finish_setup()
+
+    @classmethod
+    def restored(cls, conn, params: dict, index: int, snapshot_path: str,
+                 replay: Optional[list] = None,
+                 chaos: Optional[dict] = None) -> "_ShardWorker":
+        """Rebuild a worker from its snapshot (respawn / coordinator resume)."""
+        worker = cls.__new__(cls)
+        worker.conn = conn
+        worker.index = index
+        worker.params = params
+        worker.window = params["window"]
+        worker._chaos = chaos
+        worker._replay = list(replay or [])
+        _header, payload = read_checkpoint(
+            snapshot_path, kind="shard", config_hash=params["config_hash"]
+        )
+        data = restore_system(payload)  # also reinstalls flit uid stream
+        worker.system = data["system"]
+        worker.net = worker.system.network
+        worker._canon = data["canon"]
+        worker._run_state = data["run"]
+        worker._seq = worker._run_state["next_seq"]
+        worker._snap_seq = worker._run_state["next_seq"]
+        worker._finish_setup()
+        return worker
+
+    def _finish_setup(self) -> None:
+        """Wiring shared by fresh construction and snapshot restore."""
+        params = self.params
+        assignment = params["assignment"]
+        local = frozenset(
+            node for node, shard in enumerate(assignment)
+            if shard == self.index
+        )
         self.local_cores = [
             tile.core for tile in self.system.tiles
             if tile.core is not None and tile.node in local
         ]
+        self._parent_pid = os.getppid()
         self.monitor = None
         if params["check"]:
             from repro.validate.invariants import InvariantMonitor
@@ -225,17 +426,23 @@ class _ShardWorker:
             flit_chan, credit_chan = 2 * i, 2 * i + 1
             flit_link = routers[n].out_flit[port]
             credit_link = routers[n].in_credit[port]
-            if assignment[n] == index:
+            if assignment[n] == self.index:
                 self._out_channels.append(
                     (flit_chan, flit_link, assignment[m], True))
                 self._in_channels[credit_chan] = (credit_link, False)
-            if assignment[m] == index:
+            if assignment[m] == self.index:
                 self._in_channels[flit_chan] = (flit_link, True)
                 self._out_channels.append(
                     (credit_chan, credit_link, assignment[n], False))
 
-        #: uid -> [canonical Message, flits seen] for in-flight imports.
-        self._canon: Dict[int, list] = {}
+        # Recovery-snapshot schedule: a pure function of the (global)
+        # barrier cycle, so every shard snapshots at identical barrier
+        # seqs and any snapshot seq is a consistent global cut.
+        self._snap_dir = params["snapshot_dir"]
+        self._snap_interval = params["snapshot_interval"]
+        cycle = self.system.sim.cycle
+        self._next_snap_cycle = (cycle // self._snap_interval + 1) \
+            * self._snap_interval
 
     # -- boundary transfer ---------------------------------------------
     def _harvest(self) -> Tuple[Dict[int, bytes], int]:
@@ -261,10 +468,10 @@ class _ShardWorker:
                 exported += len(items)
                 for _due, flit in items:
                     # The circuit_resolved hook is a protocol-layer
-                    # closure (unpicklable) that fires exactly once at
-                    # origin-NI injection - strictly before the message's
-                    # flits exist on any wire - so it is always spent by
-                    # the time a flit crosses a shard boundary.
+                    # callback that fires exactly once at origin-NI
+                    # injection - strictly before the message's flits
+                    # exist on any wire - so it is always spent by the
+                    # time a flit crosses a shard boundary.
                     payload = flit.msg.payload
                     if payload is not None and getattr(
                             payload, "circuit_resolved", None) is not None:
@@ -316,66 +523,117 @@ class _ShardWorker:
         imports are applied - supplies this shard's vote for the global
         AND-reduced done/idle flag; the coordinator's reply carries the
         reduction (None on flagless barriers).
+
+        In *replay* mode (after a respawn) nothing touches the wire:
+        harvested blobs are discarded - the original incarnation already
+        delivered them - and the reply comes from the coordinator's log.
+        Snapshots are still written at the deterministic points so the
+        replacement's disk state converges with the other shards'.
         """
+        seq = self._seq
+        self._seq = seq + 1
         blobs, exported = self._harvest()
         flag = None if flag_fn is None else flag_fn(exported)
+        if self._replay:
+            inbound, global_flag = self._replay.pop(0)
+            self._apply(inbound)
+            if global_flag is not True:
+                self._maybe_snapshot(seq + 1)
+            return global_flag
+        self._chaos_hook(seq)
         self.conn.send((
-            "b", self.system.sim.cycle, blobs, flag,
-            self.system._progress() if wd else 0, wd,
+            "b", seq, self.system.sim.cycle, blobs, flag,
+            self.system._progress() if wd else 0, wd, self._snap_seq,
         ))
-        reply = self.conn.recv()
+        reply = self._recv_from_coordinator()
         if reply[0] == "abort":
             raise _ShardAborted(reply[1])
         _kind, inbound, global_flag = reply
         self._apply(inbound)
+        # Phase-ending barriers (global flag True) are never snapshot
+        # points: run control stacks several barriers on that cycle and
+        # the resume position would be ambiguous.
+        if global_flag is not True:
+            self._maybe_snapshot(seq + 1)
         return global_flag
 
-    # -- run control (mirrors Simulator.run_until globally) ------------
-    def _run_until(self, flag_fn, max_cycles: int, check_interval: int,
-                   wd: bool) -> int:
-        """Global ``run_until``: advance in windows, AND-reduce ``flag_fn``.
+    def _recv_from_coordinator(self):
+        """Blocking receive that notices coordinator death.
 
-        Flags are exchanged at exactly the cycles a single-process
-        ``run_until(done, max_cycles, check_interval)`` would evaluate
-        ``done()`` - on entry and after every chunk - so completion
-        cycles are bit-identical.
+        A plain ``recv()`` would hang forever after the coordinator is
+        SIGKILLed: sibling workers hold forked duplicates of every pipe
+        fd, so the peer end never closes and EOF never arrives.  Poll
+        instead, and exit hard once this process has been re-parented
+        away from the coordinator (nobody is left to read an exception).
         """
-        sim = self.system.sim
-        window = self.window
-        if self._barrier(flag_fn, wd):
-            return sim.cycle
-        deadline = sim.cycle + max_cycles
-        while sim.cycle < deadline:
-            chunk = min(sim.cycle + check_interval, deadline)
-            while True:
-                sim._advance(min(sim.cycle + window, chunk))
-                if sim.cycle >= chunk:
-                    break
-                self._barrier()
-            if self._barrier(flag_fn, wd):
-                return sim.cycle
-        raise DeadlockError(
-            f"simulation did not complete within {max_cycles} cycles",
-            cycle=sim.cycle,
-        )
+        while not self.conn.poll(_ORPHAN_POLL_S):
+            if os.getppid() != self._parent_pid:
+                os._exit(1)  # orphaned: coordinator is gone
+        return self.conn.recv()
 
-    def _run_instructions(self, per_core: int,
-                          max_cycles: Optional[int] = None) -> None:
-        if max_cycles is None:
-            max_cycles = 50_000_000
-        for core in self.local_cores:
-            core.set_target(per_core)
-        cores = self.local_cores
+    def _chaos_hook(self, seq: int) -> None:
+        """Fault injection for the chaos campaign (first spawn only)."""
+        chaos = self._chaos
+        if chaos is None or chaos.get("shard") != self.index \
+                or seq < chaos.get("barrier_seq", 0):
+            return
+        import signal
 
-        def done(_exported: int) -> bool:
-            return all(core.done for core in cores)
+        self._chaos = None  # disarm first: SIGSTOP may be resumed later
+        action = chaos.get("action")
+        if action == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif action == "sigstop":
+            os.kill(os.getpid(), signal.SIGSTOP)
+        else:  # pragma: no cover - campaign misconfiguration
+            raise ValueError(f"unknown chaos action {action!r}")
 
+    # -- recovery snapshots --------------------------------------------
+    def _maybe_snapshot(self, next_seq: int) -> None:
+        """Snapshot the replica if the barrier cycle crossed the cadence."""
+        cycle = self.system.sim.cycle
+        if cycle < self._next_snap_cycle:
+            return
+        self._next_snap_cycle = (cycle // self._snap_interval + 1) \
+            * self._snap_interval
+        run_state = dict(self._run_state)
+        run_state["cycle"] = cycle
+        run_state["next_seq"] = next_seq
+        payload = capture_system(self.system, run_state, canon=self._canon)
+        path = _snapshot_path(self._snap_dir, self.index, next_seq)
+        write_checkpoint(path, payload, kind="shard",
+                         config_hash=self.params["config_hash"], cycle=cycle)
+        self._snap_seq = next_seq
+        self._prune_snapshots()
+
+    def _prune_snapshots(self) -> None:
+        mine = []
         try:
-            self._run_until(done, max_cycles, check_interval=64, wd=True)
-        finally:
-            self.system.stats.flush()
+            names = os.listdir(self._snap_dir)
+        except OSError:  # pragma: no cover - directory vanished
+            return
+        for name in names:
+            match = _SNAPSHOT_RE.match(name)
+            if match and int(match.group(1)) == self.index:
+                mine.append((int(match.group(2)), name))
+        mine.sort(reverse=True)
+        for _seq, name in mine[_SNAPSHOTS_KEPT:]:
+            try:
+                os.unlink(os.path.join(self._snap_dir, name))
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
 
-    def _drain(self, max_cycles: int = 2_000_000) -> None:
+    # -- run control (mirrors Simulator.run_until globally) ------------
+    def _flag_fn(self, phase: str):
+        """Barrier vote for a phase (derived, never stored: closures
+        cannot ride in a snapshot)."""
+        if phase in ("warmup", "measure"):
+            cores = self.local_cores
+
+            def done(_exported: int) -> bool:
+                return all(core.done for core in cores)
+
+            return done
         system = self.system
 
         def idle(exported: int) -> bool:
@@ -393,34 +651,110 @@ class _ShardWorker:
                 for tile in system.tiles
             )
 
-        try:
-            self._run_until(idle, max_cycles, check_interval=16, wd=False)
-        finally:
-            system.stats.flush()
+        return idle
+
+    def _arm(self, phase: str, max_cycles: int, check_interval: int,
+             wd: bool) -> None:
+        cycle = self.system.sim.cycle
+        self._run_state.update(
+            phase=phase, anchor=cycle, deadline=cycle + max_cycles,
+            ci=check_interval, wd=wd,
+        )
+
+    def _run_phase(self, resume: bool = False) -> None:
+        """Global ``run_until``: advance in windows, AND-reduce the vote.
+
+        Flags are exchanged at exactly the cycles a single-process
+        ``run_until(done, max_cycles, check_interval)`` would evaluate
+        ``done()`` - on entry and after every chunk - so completion
+        cycles are bit-identical.
+
+        ``resume`` re-enters mid-phase after a snapshot restore.  The
+        snapshot was taken at a barrier whose reply was already applied,
+        so the position is unambiguous: on a chunk boundary (offset 0
+        from the anchor) the next step is the outer loop; mid-chunk, the
+        partial chunk is finished first - with the original clamped end,
+        so the remaining barrier schedule is identical.
+        """
+        run_state = self._run_state
+        sim = self.system.sim
+        window = self.window
+        flag_fn = self._flag_fn(run_state["phase"])
+        ci = run_state["ci"]
+        wd = run_state["wd"]
+        deadline = run_state["deadline"]
+        anchor = run_state["anchor"]
+        if resume:
+            offset = (sim.cycle - anchor) % ci
+            if offset:
+                chunk = min(sim.cycle + (ci - offset), deadline)
+                while True:
+                    sim._advance(min(sim.cycle + window, chunk))
+                    if sim.cycle >= chunk:
+                        break
+                    self._barrier(None, wd)
+                if self._barrier(flag_fn, wd):
+                    return
+        elif self._barrier(flag_fn, wd):
+            return
+        while sim.cycle < deadline:
+            chunk = min(sim.cycle + ci, deadline)
+            while True:
+                sim._advance(min(sim.cycle + window, chunk))
+                if sim.cycle >= chunk:
+                    break
+                self._barrier(None, wd)
+            if self._barrier(flag_fn, wd):
+                return
+        raise DeadlockError(
+            f"simulation did not complete within {deadline - anchor} cycles",
+            cycle=sim.cycle,
+        )
 
     def run(self) -> dict:
         params = self.params
         system = self.system
         cpu_start = time.process_time()
+        run_state = self._run_state
         # Phase script mirrors run_experiment: warmup() (functional
         # prewarm + timing warmup + drain + stats reset) only when a
-        # warmup quantum was requested, then the measured phase.
-        if params["warmup_instructions"]:
-            system.functional_prewarm()
-            self._run_instructions(params["warmup_instructions"])
-            self._drain()
+        # warmup quantum was requested, then the measured phase.  A
+        # restored worker re-enters the snapshotted phase instead.
+        resume = run_state["phase"] is not None
+        if not resume:
+            if params["warmup_instructions"]:
+                system.functional_prewarm()
+                for core in self.local_cores:
+                    core.set_target(params["warmup_instructions"])
+                self._arm("warmup", 50_000_000, 64, wd=True)
+            else:
+                self._arm_measure()
+        if run_state["phase"] == "warmup":
+            try:
+                self._run_phase(resume=resume)
+            finally:
+                system.stats.flush()
+            resume = False
+            self._arm("drain", 2_000_000, 16, wd=False)
+        if run_state["phase"] == "drain":
+            try:
+                self._run_phase(resume=resume)
+            finally:
+                system.stats.flush()
+            resume = False
             system.stats.reset()
             self.net.shard_flits_imported = 0
             self.net.shard_flits_exported = 0
-        start = system.sim.cycle
+            self._arm_measure()
         cpu_measure = time.process_time()
-        self._run_instructions(params["measure_instructions"],
-                               max_cycles=params["max_measure_cycles"])
+        try:
+            self._run_phase(resume=resume)  # measure
+        finally:
+            system.stats.flush()
         cpu_end = time.process_time()
-        system.stats.flush()
         return {
             "stats": _stats_snapshot(system.stats),
-            "start": start,
+            "start": run_state["start"],
             "finish": max(core.finish_cycle for core in self.local_cores),
             "end_cycle": system.sim.cycle,
             "cpu_seconds": cpu_end - cpu_start,
@@ -428,10 +762,25 @@ class _ShardWorker:
             "ticks_run": system.sim.ticks_run,
         }
 
+    def _arm_measure(self) -> None:
+        params = self.params
+        self._run_state["start"] = self.system.sim.cycle
+        for core in self.local_cores:
+            core.set_target(params["measure_instructions"])
+        self._arm("measure", params["max_measure_cycles"] or 50_000_000,
+                  64, wd=True)
 
-def _shard_worker_main(conn, params: dict, index: int) -> None:
+
+def _shard_worker_main(conn, params: dict, index: int,
+                       restore: Optional[tuple] = None,
+                       chaos: Optional[dict] = None) -> None:
     try:
-        worker = _ShardWorker(conn, params, index)
+        if restore is not None and restore[0] is not None:
+            worker = _ShardWorker.restored(conn, params, index,
+                                           restore[0], restore[1], chaos)
+        else:
+            replay = restore[1] if restore is not None else None
+            worker = _ShardWorker(conn, params, index, replay, chaos)
         result = worker.run()
         conn.send(("done", result))
     except _ShardAborted:
@@ -449,20 +798,30 @@ def _shard_worker_main(conn, params: dict, index: int) -> None:
 # Coordinator side.
 # ----------------------------------------------------------------------
 
-def _recv(conn, proc, index: int):
-    if not conn.poll(_RECV_TIMEOUT):
-        raise SimulationError(
-            f"shard worker {index} unresponsive for {_RECV_TIMEOUT:.0f}s"
+def _recv(conn, proc, index: int, timeout: float):
+    """Receive one message from worker ``index`` or raise ShardWorkerDied."""
+    if not conn.poll(timeout):
+        if proc.is_alive():
+            raise ShardWorkerDied(
+                f"shard worker {index} unresponsive for {timeout:.0f}s",
+                shard=index,
+            )
+        raise ShardWorkerDied(
+            f"shard worker {index} died (exit code {proc.exitcode})",
+            shard=index,
         )
     try:
         return conn.recv()
     except EOFError:
-        raise SimulationError(
-            f"shard worker {index} died (exit code {proc.exitcode})"
+        proc.join(timeout=5)
+        raise ShardWorkerDied(
+            f"shard worker {index} died (exit code {proc.exitcode})",
+            shard=index,
         ) from None
 
 
 def _reraise_worker_error(index: int, kind: str, message: str):
+    from repro.sim import checkpoint as ckpt
     from repro.validate.invariants import InvariantViolation
 
     prefix = f"shard {index}: "
@@ -470,14 +829,246 @@ def _reraise_worker_error(index: int, kind: str, message: str):
         raise DeadlockError(prefix + message)
     if kind == "InvariantViolation":
         raise InvariantViolation("shard", prefix + message)
+    for name in ("CorruptCheckpointError", "IncompatibleCheckpointError",
+                 "UnpicklableStateError", "CheckpointError"):
+        if kind == name:
+            raise getattr(ckpt, name)(prefix + message)
     raise SimulationError(f"{prefix}[{kind}] {message}")
+
+
+def _shutdown_procs(procs, join_timeout: float = 30.0,
+                    term_timeout: float = 10.0) -> None:
+    """Reap worker processes, escalating terminate -> kill.
+
+    A worker wedged in uninterruptible state (or SIGSTOPped by the chaos
+    campaign) ignores SIGTERM; the final SIGKILL guarantees no process
+    outlives the coordinator.
+    """
+    for proc in procs:
+        if proc is None:
+            continue
+        proc.join(timeout=join_timeout)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=term_timeout)
+        if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+            proc.kill()
+            proc.join(timeout=term_timeout)
+
+
+class _Supervisor:
+    """Spawns, watches, and respawns the shard worker fleet."""
+
+    def __init__(self, ctx, params: dict, n_shards: int, timeout: float,
+                 respawn_limit: int, chaos: Optional[dict]) -> None:
+        self.ctx = ctx
+        self.params = params
+        self.n_shards = n_shards
+        self.timeout = timeout
+        self.respawn_limit = respawn_limit
+        self.chaos = chaos
+        self.conns: List = [None] * n_shards
+        self.procs: List = [None] * n_shards
+        self.all_procs: List = []  # every process ever spawned (for reaping)
+        #: Per shard: barrier replies sent since its acked snapshot,
+        #: as (seq, (inbound blobs, global flag)).
+        self.logs: List[List[tuple]] = [[] for _ in range(n_shards)]
+        #: Per shard: seq of its last durable snapshot (0 = none).
+        self.snap_seq: List[int] = [0] * n_shards
+        self.respawns = 0
+        self._respawns_by_shard: List[int] = [0] * n_shards
+        self._fresh: List[bool] = [True] * n_shards  # grace on first recv
+
+    def spawn(self, index: int, restore: Optional[tuple] = None,
+              chaos: Optional[dict] = None) -> None:
+        parent_conn, child_conn = self.ctx.Pipe()
+        proc = self.ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, self.params, index, restore, chaos),
+            daemon=True,
+            name=f"repro-shard-{index}",
+        )
+        proc.start()
+        child_conn.close()
+        self.conns[index] = parent_conn
+        self.procs[index] = proc
+        self.all_procs.append(proc)
+        self._fresh[index] = True
+        pidfile = os.environ.get("REPRO_SHARD_PIDFILE", "").strip()
+        if pidfile:  # chaos campaign: record every worker ever spawned
+            with open(pidfile, "a") as handle:
+                handle.write(f"{proc.pid}\n")
+
+    def spawn_all(self, resume_seq: Optional[int] = None) -> None:
+        for index in range(self.n_shards):
+            restore = None
+            if resume_seq is not None:
+                restore = (_snapshot_path(self.params["snapshot_dir"],
+                                          index, resume_seq), [])
+                self.snap_seq[index] = resume_seq
+            self.spawn(index, restore=restore, chaos=self.chaos)
+
+    def recover(self, index: int, cause: ShardWorkerDied) -> None:
+        """Respawn shard ``index`` from its snapshot + replay log."""
+        if self._respawns_by_shard[index] >= self.respawn_limit:
+            raise ShardRecoveryError(
+                f"shard {index} failed and its respawn budget "
+                f"({self.respawn_limit}) is exhausted: {cause}",
+                shard=index,
+            ) from cause
+        self.respawns += 1
+        self._respawns_by_shard[index] += 1
+        proc, conn = self.procs[index], self.conns[index]
+        if conn is not None:
+            conn.close()
+        if proc is not None:
+            proc.kill()  # SIGKILL: works on wedged/SIGSTOPped workers too
+            proc.join(timeout=30)
+        snap = self.snap_seq[index]
+        path = _snapshot_path(self.params["snapshot_dir"], index, snap) \
+            if snap else None
+        replay = [reply for seq, reply in self.logs[index] if seq >= snap]
+        self.spawn(index, restore=(path, replay))
+
+    def recv_round(self) -> List:
+        """Collect one lockstep round, respawning shards that fail.
+
+        A replacement replays silently and then emits exactly the
+        message its predecessor owed this round, so already-received
+        messages from healthy shards stay valid.
+        """
+        messages: List = [None] * self.n_shards
+        pending = list(range(self.n_shards))
+        while pending:
+            index = pending[0]
+            timeout = self.timeout
+            if self._fresh[index]:
+                timeout = max(timeout, _RESPAWN_RECV_FLOOR)
+            try:
+                messages[index] = _recv(self.conns[index], self.procs[index],
+                                        index, timeout)
+                self._fresh[index] = False
+                pending.pop(0)
+            except ShardWorkerDied as cause:
+                self.recover(index, cause)  # retry this index next pass
+        return messages
+
+    def send(self, index: int, reply) -> None:
+        """Send a reply; a send-side death is recovered like a recv one.
+
+        The reply was logged before any send, so the replacement replays
+        it from the log and needs no retransmission.
+        """
+        try:
+            self.conns[index].send(reply)
+        except (BrokenPipeError, OSError):
+            self.recover(index, ShardWorkerDied(
+                f"shard worker {index} died "
+                f"(exit code {self.procs[index].exitcode})", shard=index,
+            ))
+
+    def ack_snapshots(self, messages: List) -> None:
+        """Prune replay logs up to each worker's durable snapshot."""
+        for index, msg in enumerate(messages):
+            acked = msg[7]
+            if acked > self.snap_seq[index]:
+                self.snap_seq[index] = acked
+                self.logs[index] = [
+                    entry for entry in self.logs[index] if entry[0] >= acked
+                ]
+
+    def abort_all(self, messages: List, reason: str) -> None:
+        for index, msg in enumerate(messages):
+            if msg is not None and msg[0] == "b":
+                try:
+                    self.conns[index].send(("abort", reason))
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
+
+    def shutdown(self) -> None:
+        for conn in self.conns:
+            if conn is not None:
+                conn.close()
+        _shutdown_procs(self.all_procs)
+
+
+def _find_resume_seq(directory: str, n_shards: int) -> int:
+    """Newest snapshot seq present - and readable - in every shard.
+
+    All shards snapshot at identical barrier seqs (the cadence depends
+    only on the global barrier cycle), so any common seq is a consistent
+    global cut; each worker retains its two newest, which always overlap
+    across shards by at least one seq unless files were lost.
+    """
+    try:
+        names = os.listdir(directory)
+    except OSError as exc:
+        raise ShardRecoveryError(
+            f"cannot resume: checkpoint directory {directory} is "
+            f"unreadable ({exc})"
+        ) from exc
+    per_shard: List[set] = [set() for _ in range(n_shards)]
+    for name in names:
+        match = _SNAPSHOT_RE.match(name)
+        if match:
+            index = int(match.group(1))
+            if index < n_shards:
+                per_shard[index].add(int(match.group(2)))
+    missing = [i for i, seqs in enumerate(per_shard) if not seqs]
+    if missing:
+        raise ShardRecoveryError(
+            f"cannot resume from {directory}: no snapshots for "
+            f"shard(s) {missing} (need one per shard for a consistent cut)"
+        )
+    common = set.intersection(*per_shard)
+    if not common:
+        raise ShardRecoveryError(
+            f"cannot resume from {directory}: shards share no common "
+            f"snapshot seq (per shard: "
+            f"{[sorted(s) for s in per_shard]})"
+        )
+    for seq in sorted(common, reverse=True):
+        try:
+            for index in range(n_shards):
+                read_checkpoint(_snapshot_path(directory, index, seq),
+                                kind="shard")
+        except CheckpointError:
+            continue  # torn by a mid-write crash; fall back one cut
+        return seq
+    raise ShardRecoveryError(
+        f"cannot resume from {directory}: every common snapshot seq "
+        f"{sorted(common)} has at least one unreadable file"
+    )
+
+
+def _cleanup_snapshots(directory: str) -> None:
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return
+    for name in names:
+        if _SNAPSHOT_RE.match(name):
+            try:
+                os.unlink(os.path.join(directory, name))
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+    try:
+        os.rmdir(directory)
+    except OSError:
+        pass  # foreign files or shared directory: leave it
 
 
 def run_sharded(config, workload: str, warmup_instructions: int,
                 measure_instructions: int, n_shards: Optional[int] = None,
                 check: Optional[bool] = None,
                 check_interval: int = 2000,
-                _max_measure_cycles: Optional[int] = None) -> ShardResult:
+                _max_measure_cycles: Optional[int] = None,
+                checkpoint_dir: Optional[str] = None,
+                checkpoint_interval: Optional[int] = None,
+                resume: bool = False,
+                timeout: Optional[float] = None,
+                respawn_limit: Optional[int] = None,
+                _chaos: Optional[dict] = None) -> ShardResult:
     """Execute one CMP run split across ``n_shards`` worker processes.
 
     Bit-identical (stats, finish cycle) to building the same system in
@@ -485,6 +1076,16 @@ def run_sharded(config, workload: str, warmup_instructions: int,
     attaches a shard-aware :class:`InvariantMonitor` in every worker
     (default: the ``REPRO_CHECK`` environment flag, matching
     ``run_experiment``).
+
+    Self-healing is always on: workers snapshot to ``checkpoint_dir``
+    (a private temporary directory when not given) every
+    ``checkpoint_interval`` simulated cycles, and a worker that dies or
+    goes silent past ``timeout`` seconds is respawned from its snapshot
+    and the coordinator's replay log - at most ``respawn_limit`` times
+    per shard, after which :class:`ShardRecoveryError` is raised.
+    ``resume=True`` restarts a run whose *coordinator* died from the
+    newest snapshot seq common to all shards in ``checkpoint_dir``.
+    Recovered and resumed runs stay bit-identical.
     """
     from repro.noc.topology import Mesh
     from repro.partition import shard_assignment
@@ -495,6 +1096,20 @@ def run_sharded(config, workload: str, warmup_instructions: int,
     assignment = shard_assignment(mesh, n_shards)
     if check is None:
         check = os.environ.get("REPRO_CHECK", "") not in ("", "0")
+    timeout = resolve_shard_timeout(config, timeout)
+    respawn_limit = _resolve_respawn_limit(respawn_limit)
+    snapshot_interval = _resolve_snapshot_interval(config,
+                                                   checkpoint_interval)
+    owned_dir = checkpoint_dir is None
+    if owned_dir:
+        if resume:
+            raise ValueError(
+                "resume=True needs an explicit checkpoint_dir: a private "
+                "temporary directory cannot outlive its coordinator"
+            )
+        checkpoint_dir = tempfile.mkdtemp(prefix="repro-shard-ckpt-")
+    else:
+        os.makedirs(checkpoint_dir, exist_ok=True)
     params = {
         "config": config,
         "workload": workload,
@@ -505,41 +1120,33 @@ def run_sharded(config, workload: str, warmup_instructions: int,
         "check": check,
         "check_interval": check_interval,
         "max_measure_cycles": _max_measure_cycles,
+        "snapshot_dir": checkpoint_dir,
+        "snapshot_interval": snapshot_interval,
+        "config_hash": fingerprint(config, workload, warmup_instructions,
+                                   measure_instructions, n_shards),
     }
 
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-    conns, procs = [], []
+    supervisor = _Supervisor(ctx, params, n_shards, timeout, respawn_limit,
+                             _chaos)
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
     try:
-        for index in range(n_shards):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_shard_worker_main,
-                args=(child_conn, params, index),
-                daemon=True,
-                name=f"repro-shard-{index}",
-            )
-            proc.start()
-            child_conn.close()
-            conns.append(parent_conn)
-            procs.append(proc)
+        resume_seq = _find_resume_seq(checkpoint_dir, n_shards) \
+            if resume else None
+        supervisor.spawn_all(resume_seq=resume_seq)
 
         done: List[Optional[dict]] = [None] * n_shards
         watchdog_last: Optional[Tuple[int, int]] = None  # (value, cycle)
         while any(result is None for result in done):
-            messages = [
-                _recv(conns[i], procs[i], i) for i in range(n_shards)
-            ]
+            messages = supervisor.recv_round()
             failed = next(
                 (i for i, msg in enumerate(messages) if msg[0] == "error"),
                 None,
             )
             if failed is not None:
-                for i, msg in enumerate(messages):
-                    if msg[0] == "b":
-                        conns[i].send(("abort", "another shard failed"))
+                supervisor.abort_all(messages, "another shard failed")
                 _kind, err_kind, err_message = messages[failed]
                 _reraise_worker_error(failed, err_kind, err_message)
             if all(msg[0] == "done" for msg in messages):
@@ -549,32 +1156,38 @@ def run_sharded(config, workload: str, warmup_instructions: int,
             # A barrier round: every worker runs the same deterministic
             # phase script, so mixed barrier/done rounds cannot happen.
             assert all(msg[0] == "b" for msg in messages), messages
-            cycle = messages[0][1]
-            assert all(msg[1] == cycle for msg in messages), (
-                "shards desynchronised: " + str([m[1] for m in messages])
+            seq = messages[0][1]
+            cycle = messages[0][2]
+            assert all(msg[1] == seq and msg[2] == cycle
+                       for msg in messages), (
+                "shards desynchronised: "
+                + str([(m[1], m[2]) for m in messages])
             )
+            supervisor.ack_snapshots(messages)
             # Route boundary blobs untouched (bytes pass through; only
             # the destination worker unpickles).  Sender order is shard
             # index order, so application order is deterministic.
             inbound: List[List[bytes]] = [[] for _ in range(n_shards)]
             for msg in messages:
-                for dest, blob in msg[2].items():
+                for dest, blob in msg[3].items():
                     inbound[dest].append(blob)
-            flags = [msg[3] for msg in messages]
+            flags = [msg[4] for msg in messages]
             if any(flag is None for flag in flags):
                 global_flag = None
             else:
                 global_flag = all(flags)
             # Global deadlock watchdog, active while every shard runs an
             # instruction phase (mirrors the single-process
-            # ProgressWatchdog at the coordinator level).
-            if all(msg[5] for msg in messages):
-                progress = sum(msg[4] for msg in messages)
+            # ProgressWatchdog at the coordinator level).  Window and
+            # chunk barriers both report progress during those phases,
+            # so the stall clock accumulates across rounds; only drain
+            # rounds (wd=False) pause it.
+            if all(msg[6] for msg in messages):
+                progress = sum(msg[5] for msg in messages)
                 if watchdog_last is None or progress != watchdog_last[0]:
                     watchdog_last = (progress, cycle)
                 elif cycle - watchdog_last[1] >= _WATCHDOG_WINDOW:
-                    for conn in conns:
-                        conn.send(("abort", "global progress stall"))
+                    supervisor.abort_all(messages, "global progress stall")
                     raise DeadlockError(
                         f"no progress across {n_shards} shards for "
                         f"{_WATCHDOG_WINDOW} cycles (cycle {cycle}, last "
@@ -584,17 +1197,20 @@ def run_sharded(config, workload: str, warmup_instructions: int,
                     )
             else:
                 watchdog_last = None
-            for i, conn in enumerate(conns):
-                conn.send(("b", inbound[i], global_flag))
+            for index in range(n_shards):
+                reply = ("b", inbound[index], global_flag)
+                # Log before send: if the worker dies mid-send, its
+                # replacement replays this reply from the log.
+                supervisor.logs[index].append((seq, (inbound[index],
+                                                     global_flag)))
+                supervisor.send(index, reply)
     finally:
-        for conn in conns:
-            conn.close()
-        for proc in procs:
-            proc.join(timeout=30)
-            if proc.is_alive():  # pragma: no cover - cleanup backstop
-                proc.terminate()
-                proc.join(timeout=10)
+        supervisor.shutdown()
+        if owned_dir:
+            shutil.rmtree(checkpoint_dir, ignore_errors=True)
 
+    if not owned_dir:
+        _cleanup_snapshots(checkpoint_dir)  # success: recovery data is moot
     wall = time.perf_counter() - wall_start
     coordinator_cpu = time.process_time() - cpu_start
     starts = {result["start"] for result in done}
@@ -617,4 +1233,5 @@ def run_sharded(config, workload: str, warmup_instructions: int,
         worker_cpu_seconds_measure=[
             result["cpu_seconds_measure"] for result in done
         ],
+        respawns=supervisor.respawns,
     )

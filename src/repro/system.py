@@ -79,15 +79,13 @@ class CmpSystem:
             mesh, config.cache.num_memory_controllers
         )
 
-        if home_of is None:
-            def home_of(addr: int) -> int:
-                return (addr // line) % n_nodes
-
-        def mc_of(addr: int) -> int:
-            return self.mc_nodes[(addr // line) % len(self.mc_nodes)]
-
-        self.home_of = home_of
-        self.mc_of = mc_of
+        #: Whether the default address-interleaving map is in use.  A
+        #: custom ``home_of`` (partition experiments) cannot be rebuilt
+        #: after a checkpoint restore; the checkpoint pickler rejects it
+        #: with a typed error instead.
+        self._default_home = home_of is None
+        self.home_of = self._make_home_of() if home_of is None else home_of
+        self.mc_of = self._make_mc_of()
 
         if streams is None and workload is not None:
             streams = workload.streams(
@@ -96,8 +94,10 @@ class CmpSystem:
         self.tiles: List[Tile] = []
         for node in range(n_nodes):
             ni = self.network.interface(node)
-            l2 = L2BankController(node, config, self.factory, ni, mc_of, self.stats)
-            l1 = L1Controller(node, config, self.factory, ni, home_of, self.stats)
+            l2 = L2BankController(node, config, self.factory, ni,
+                                  self.mc_of, self.stats)
+            l1 = L1Controller(node, config, self.factory, ni,
+                              self.home_of, self.stats)
             mc = None
             if node in self.mc_nodes:
                 mc = MemoryController(node, config, self.factory, ni, self.stats)
@@ -124,6 +124,43 @@ class CmpSystem:
         # Routers and NIs register individually (same order as
         # Network.tick) so the kernel can sleep each one on its own.
         self.network.register(self.sim, nodes=local)
+
+    def _make_home_of(self) -> Callable[[int], int]:
+        """The default block-interleaved L2 home map (recreatable wiring)."""
+        line = self.config.cache.line_bytes
+        n_nodes = self.network.mesh.n_nodes
+
+        def home_of(addr: int) -> int:
+            return (addr // line) % n_nodes
+
+        return home_of
+
+    def _make_mc_of(self) -> Callable[[int], int]:
+        """The block-interleaved memory-controller map (recreatable wiring)."""
+        line = self.config.cache.line_bytes
+
+        def mc_of(addr: int) -> int:
+            return self.mc_nodes[(addr // line) % len(self.mc_nodes)]
+
+        return mc_of
+
+    def reattach(self) -> None:
+        """Rebuild every wiring closure after a checkpoint restore.
+
+        The checkpoint pickler (:mod:`repro.sim.checkpoint`) reduces the
+        known wire-up closures - address maps, tile dispatch, kernel wake
+        hooks - to None, because closures carry no state that is not
+        recreatable from the restored object graph.  This re-creates all
+        of them against the restored objects.
+        """
+        if self._default_home:
+            self.home_of = self._make_home_of()
+        self.mc_of = self._make_mc_of()
+        for tile in self.tiles:
+            tile.l1.home_of = self.home_of
+            tile.l2.mc_of = self.mc_of
+            tile.ni.deliver = self._make_dispatch(tile)
+        self.sim.rewire_wakes()
 
     def _make_dispatch(self, tile: Tile) -> Callable[[Message, int], None]:
         l1, l2, mc = tile.l1, tile.l2, tile.mc
@@ -200,12 +237,27 @@ class CmpSystem:
         """
         for core in self.cores:
             core.set_target(per_core)
+        return self.continue_instructions(self.sim.cycle + max_cycles,
+                                          watchdog_window)
+
+    def continue_instructions(self, deadline: int,
+                              watchdog_window: int = 500_000) -> int:
+        """Run already-armed cores until all are done or ``deadline``.
+
+        The checkpoint/resume path of :func:`run_instructions`: restored
+        cores still carry their targets, so re-arming them would change
+        semantics.  ``deadline`` is an absolute cycle, which keeps the
+        ``run_until`` chunk boundaries identical to the uninterrupted
+        run's (chunks restart from the current - boundary-aligned -
+        cycle).
+        """
         watchdog = ProgressWatchdog(self._progress, watchdog_window,
                                     on_deadlock=self._deadlock_context)
         self.sim.add_watchdog(watchdog)
         try:
             self.sim.run_until(
-                lambda: all(core.done for core in self.cores), max_cycles
+                lambda: all(core.done for core in self.cores),
+                deadline - self.sim.cycle,
             )
         except SimulationError as error:
             self._attach_crash_report(error)
@@ -214,6 +266,10 @@ class CmpSystem:
             self.sim.remove_watchdog(watchdog)
             self.stats.flush()
         return max(core.finish_cycle for core in self.cores)
+
+    def continue_drain(self, deadline: int) -> int:
+        """Absolute-deadline variant of :meth:`drain` (checkpoint resume)."""
+        return self.drain(deadline - self.sim.cycle)
 
     def functional_prewarm(self) -> None:
         """Install steady-state cache/directory contents directly.

@@ -24,6 +24,7 @@ from repro.validate.campaign import (
     run_fault,
     run_system_check,
 )
+from repro.validate.chaos import ChaosOutcome, run_chaos_campaign
 from repro.validate.faults import FaultInjector, FaultKind
 from repro.validate.forensics import (
     CrashReport,
@@ -56,7 +57,9 @@ __all__ = [
     "find_cycle",
     "flit_census",
     "measure_overhead",
+    "ChaosOutcome",
     "run_campaign",
+    "run_chaos_campaign",
     "run_clean",
     "run_clean_sweep",
     "run_fault",

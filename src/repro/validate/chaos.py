@@ -1,0 +1,544 @@
+"""Process-level chaos campaign: prove recovery is deterministic.
+
+Each scenario injects a real process-level fault into a real run -
+SIGKILL a shard worker mid-window, SIGSTOP-wedge one past the receive
+timeout, SIGKILL a whole single-process run or the shard *coordinator*,
+corrupt or truncate a checkpoint on disk - and then demands one of two
+outcomes, with nothing in between:
+
+* the run **recovers** (self-healing respawn, or checkpoint resume) and
+  its stats, histograms and finish cycle are *bit-identical* to an
+  uninterrupted reference run; or
+* the failure is **impossible to recover** (respawn budget exhausted,
+  damaged checkpoint) and surfaces as its precise typed error
+  (:class:`~repro.sim.shard.ShardRecoveryError`,
+  :class:`~repro.sim.checkpoint.CorruptCheckpointError`, ...).
+
+A clean control run must report **zero** respawns (no false positives),
+and no worker process may outlive its campaign scenario (checked
+through ``REPRO_SHARD_PIDFILE``).
+
+Run it via ``python -m repro.harness chaos`` or
+:func:`run_chaos_campaign`; the CI ``chaos`` job gates on it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import repro
+from repro.cpu.workloads import ALL_WORKLOADS
+from repro.sim.checkpoint import (
+    MAGIC,
+    CheckpointPolicy,
+    CorruptCheckpointError,
+    IncompatibleCheckpointError,
+    fingerprint,
+    read_checkpoint,
+    resume_checkpointed,
+    restore_system,
+    run_checkpointed,
+)
+from repro.sim.config import Variant, small_test_config
+from repro.sim.shard import (
+    _SNAPSHOT_RE,
+    ShardRecoveryError,
+    ShardResult,
+    run_sharded,
+)
+from repro.system import build_system
+
+#: Small-but-real quanta: enough cycles for several barrier windows,
+#: snapshots and phase transitions on a 4x4 mesh.
+_WARMUP = 200
+_MEASURE = 400
+_WORKLOAD = ALL_WORKLOADS[0].name
+_SEED = 3
+#: Snapshot cadence tight enough that every scenario crosses several
+#: snapshot points inside its ~15k-cycle run.
+_INTERVAL = 2000
+
+#: The two router/NI pipelines every recovery scenario must hold on.
+PIPELINES = ("fastpath", "classic")
+
+
+@dataclass
+class ChaosOutcome:
+    """Verdict of one chaos scenario."""
+
+    scenario: str
+    ok: bool
+    detail: str = ""
+    error: str = ""
+
+
+def _config(pipeline: str = "fastpath"):
+    config = small_test_config(16, variant=Variant.REUSE_NOACK, seed=_SEED)
+    if pipeline == "classic":
+        config = dataclasses.replace(
+            config, noc=dataclasses.replace(config.noc, fastpath=False)
+        )
+    return config
+
+
+def _reference(pipeline: str) -> ShardResult:
+    """Uninterrupted sharded run every recovery scenario compares against."""
+    return run_sharded(_config(pipeline), _WORKLOAD, _WARMUP, _MEASURE,
+                       n_shards=2, check=False)
+
+
+def _identical(result, reference) -> Optional[str]:
+    """None when bit-identical, else a description of the divergence."""
+    if (result.start_cycle, result.finish_cycle, result.end_cycle) != \
+            (reference.start_cycle, reference.finish_cycle,
+             reference.end_cycle):
+        return (
+            f"cycles diverge: ({result.start_cycle}, {result.finish_cycle}, "
+            f"{result.end_cycle}) != ({reference.start_cycle}, "
+            f"{reference.finish_cycle}, {reference.end_cycle})"
+        )
+    ours, theirs = result.stats.as_dict(), reference.stats.as_dict()
+    if ours != theirs:
+        diff = [key for key in sorted(set(ours) | set(theirs))
+                if ours.get(key) != theirs.get(key)]
+        return f"stats diverge on {len(diff)} keys (first: {diff[:3]})"
+    return None
+
+
+class _PidWatch:
+    """Record every worker pid spawned inside the block; assert all dead."""
+
+    def __enter__(self) -> "_PidWatch":
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", suffix=".pids", delete=False)
+        handle.close()
+        self.path = handle.name
+        self._saved = os.environ.get("REPRO_SHARD_PIDFILE")
+        os.environ["REPRO_SHARD_PIDFILE"] = self.path
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._saved is None:
+            os.environ.pop("REPRO_SHARD_PIDFILE", None)
+        else:  # pragma: no cover - nested campaigns
+            os.environ["REPRO_SHARD_PIDFILE"] = self._saved
+
+    def leaked(self) -> List[int]:
+        alive = []
+        try:
+            with open(self.path) as handle:
+                pids = [int(line) for line in handle if line.strip()]
+        finally:
+            os.unlink(self.path)
+        deadline = time.time() + 10  # grace for SIGKILLed procs to reap
+        for pid in pids:
+            while True:
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    break
+                except PermissionError:  # pragma: no cover - pid reuse
+                    break
+                if time.time() > deadline:
+                    alive.append(pid)
+                    break
+                time.sleep(0.1)
+        return alive
+
+
+# ----------------------------------------------------------------------
+# Scenarios.  Each returns a ChaosOutcome; references are passed in so
+# one uninterrupted run per pipeline serves every scenario.
+# ----------------------------------------------------------------------
+
+def _scenario_clean(pipeline: str, reference: ShardResult) -> ChaosOutcome:
+    """Control: an unharmed run must not trip the supervisor at all."""
+    name = f"clean-run-{pipeline}"
+    with _PidWatch() as watch:
+        result = run_sharded(_config(pipeline), _WORKLOAD, _WARMUP,
+                             _MEASURE, n_shards=2, check=False,
+                             checkpoint_interval=_INTERVAL)
+        leaked = watch.leaked()
+    if result.respawns != 0:
+        return ChaosOutcome(name, False,
+                            error=f"false positive: {result.respawns} "
+                                  f"respawn(s) on a healthy run")
+    if leaked:
+        return ChaosOutcome(name, False, error=f"leaked workers: {leaked}")
+    divergence = _identical(result, reference)
+    if divergence:
+        return ChaosOutcome(name, False, error=divergence)
+    return ChaosOutcome(name, True, detail="0 respawns, bit-identical")
+
+
+def _scenario_worker_sigkill(pipeline: str, reference: ShardResult,
+                             barrier_seq: int, label: str) -> ChaosOutcome:
+    """SIGKILL one worker mid-window; the respawn must replay exactly."""
+    name = f"worker-sigkill-{label}-{pipeline}"
+    with _PidWatch() as watch:
+        result = run_sharded(
+            _config(pipeline), _WORKLOAD, _WARMUP, _MEASURE, n_shards=2,
+            check=False, checkpoint_interval=_INTERVAL,
+            _chaos={"shard": 1, "barrier_seq": barrier_seq,
+                    "action": "sigkill"},
+        )
+        leaked = watch.leaked()
+    if result.respawns != 1:
+        return ChaosOutcome(name, False,
+                            error=f"expected 1 respawn, got "
+                                  f"{result.respawns}")
+    if leaked:
+        return ChaosOutcome(name, False, error=f"leaked workers: {leaked}")
+    divergence = _identical(result, reference)
+    if divergence:
+        return ChaosOutcome(name, False, error=divergence)
+    return ChaosOutcome(name, True,
+                        detail=f"killed at barrier seq {barrier_seq}, "
+                               f"recovered bit-identical")
+
+
+def _scenario_worker_sigstop(pipeline: str,
+                             reference: ShardResult) -> ChaosOutcome:
+    """Wedge a worker past the receive timeout; it must be killed and
+    respawned, and the run must stay bit-identical."""
+    name = f"worker-sigstop-{pipeline}"
+    with _PidWatch() as watch:
+        result = run_sharded(
+            _config(pipeline), _WORKLOAD, _WARMUP, _MEASURE, n_shards=2,
+            check=False, checkpoint_interval=_INTERVAL, timeout=2.0,
+            _chaos={"shard": 0, "barrier_seq": 60, "action": "sigstop"},
+        )
+        leaked = watch.leaked()
+    if result.respawns != 1:
+        return ChaosOutcome(name, False,
+                            error=f"expected 1 respawn, got "
+                                  f"{result.respawns}")
+    if leaked:
+        return ChaosOutcome(name, False,
+                            error=f"leaked (wedged?) workers: {leaked}")
+    divergence = _identical(result, reference)
+    if divergence:
+        return ChaosOutcome(name, False, error=divergence)
+    return ChaosOutcome(name, True,
+                        detail="wedge detected by timeout, recovered "
+                               "bit-identical")
+
+
+def _scenario_respawn_exhausted() -> ChaosOutcome:
+    """With a zero respawn budget, a killed worker must surface as a
+    typed ShardRecoveryError - not a hang, not a bare crash."""
+    name = "respawn-exhausted"
+    with _PidWatch() as watch:
+        try:
+            run_sharded(
+                _config("fastpath"), _WORKLOAD, _WARMUP, _MEASURE,
+                n_shards=2, check=False, checkpoint_interval=_INTERVAL,
+                respawn_limit=0,
+                _chaos={"shard": 1, "barrier_seq": 10, "action": "sigkill"},
+            )
+        except ShardRecoveryError as err:
+            leaked = watch.leaked()
+            if leaked:
+                return ChaosOutcome(name, False,
+                                    error=f"leaked workers: {leaked}")
+            return ChaosOutcome(name, True, detail=f"typed error: {err}")
+        except Exception as err:  # noqa: BLE001 - verdict, not control flow
+            watch.leaked()
+            return ChaosOutcome(name, False,
+                                error=f"wrong error type "
+                                      f"{type(err).__name__}: {err}")
+    return ChaosOutcome(name, False,
+                        error="run succeeded with a dead worker and no "
+                              "respawn budget")
+
+
+def _scenario_coordinator_sigkill(pipeline: str,
+                                  reference: ShardResult) -> ChaosOutcome:
+    """SIGKILL the whole coordinator process mid-run, then resume the run
+    from the workers' snapshots (newest consistent cut)."""
+    name = f"coordinator-sigkill-{pipeline}"
+    src_root = os.path.dirname(os.path.dirname(repro.__file__))
+    child_src = (
+        "import sys\n"
+        f"sys.path.insert(0, {src_root!r})\n"
+        "import dataclasses\n"
+        "from repro.sim.config import Variant, small_test_config\n"
+        "from repro.sim.shard import run_sharded\n"
+        f"config = small_test_config(16, variant=Variant.REUSE_NOACK, "
+        f"seed={_SEED})\n"
+        f"pipeline = {pipeline!r}\n"
+        "if pipeline == 'classic':\n"
+        "    config = dataclasses.replace(config, noc=dataclasses.replace("
+        "config.noc, fastpath=False))\n"
+        f"run_sharded(config, {_WORKLOAD!r}, {_WARMUP}, {_MEASURE}, "
+        f"n_shards=2, check=False, checkpoint_dir=sys.argv[1], "
+        f"checkpoint_interval={_INTERVAL})\n"
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        ckdir = os.path.join(tmp, "ck")
+        proc = subprocess.Popen([sys.executable, "-c", child_src, ckdir])
+
+        def common_seqs() -> set:
+            per: Dict[int, set] = {0: set(), 1: set()}
+            if os.path.isdir(ckdir):
+                for entry in os.listdir(ckdir):
+                    match = _SNAPSHOT_RE.match(entry)
+                    if match:
+                        per[int(match.group(1))].add(int(match.group(2)))
+            return per[0] & per[1]
+
+        deadline = time.time() + 180
+        while time.time() < deadline:
+            if common_seqs():
+                break
+            if proc.poll() is not None:
+                return ChaosOutcome(
+                    name, False,
+                    error="victim finished before any snapshot appeared "
+                          "(scenario too short for the cadence)")
+            time.sleep(0.05)
+        else:
+            proc.kill()
+            proc.wait()
+            return ChaosOutcome(name, False,
+                                error="no snapshots appeared in time")
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait()
+        time.sleep(0.5)  # orphaned daemon workers die with the parent
+        with _PidWatch() as watch:
+            try:
+                result = run_sharded(
+                    _config(pipeline), _WORKLOAD, _WARMUP, _MEASURE,
+                    n_shards=2, check=False, checkpoint_dir=ckdir,
+                    checkpoint_interval=_INTERVAL, resume=True,
+                )
+            except Exception as err:  # noqa: BLE001 - verdict
+                watch.leaked()
+                return ChaosOutcome(name, False,
+                                    error=f"resume failed: "
+                                          f"{type(err).__name__}: {err}")
+            leaked = watch.leaked()
+    if leaked:
+        return ChaosOutcome(name, False, error=f"leaked workers: {leaked}")
+    divergence = _identical(result, reference)
+    if divergence:
+        return ChaosOutcome(name, False, error=divergence)
+    return ChaosOutcome(name, True,
+                        detail="resumed from consistent cut, bit-identical")
+
+
+def _scenario_singleproc_sigkill(pipeline: str) -> ChaosOutcome:
+    """SIGKILL a checkpointing single-process run, resume from its
+    newest checkpoint, and match an uninterrupted in-process run."""
+    name = f"singleproc-sigkill-resume-{pipeline}"
+    config = _config(pipeline)
+    from repro.cpu.workloads import workload_by_name
+
+    reference = build_system(config, workload_by_name(_WORKLOAD))
+    reference.warmup(_WARMUP)
+    ref_start = reference.sim.cycle
+    ref_finish = reference.run_instructions(_MEASURE)
+    ref_stats = reference.stats.as_dict()
+
+    src_root = os.path.dirname(os.path.dirname(repro.__file__))
+    config_hash = fingerprint("chaos-singleproc", pipeline)
+    child_src = (
+        "import sys\n"
+        f"sys.path.insert(0, {src_root!r})\n"
+        "import dataclasses\n"
+        "from repro.cpu.workloads import workload_by_name\n"
+        "from repro.sim.checkpoint import CheckpointPolicy, fingerprint, "
+        "run_checkpointed\n"
+        "from repro.sim.config import Variant, small_test_config\n"
+        "from repro.system import build_system\n"
+        f"config = small_test_config(16, variant=Variant.REUSE_NOACK, "
+        f"seed={_SEED})\n"
+        f"pipeline = {pipeline!r}\n"
+        "if pipeline == 'classic':\n"
+        "    config = dataclasses.replace(config, noc=dataclasses.replace("
+        "config.noc, fastpath=False))\n"
+        f"system = build_system(config, workload_by_name({_WORKLOAD!r}))\n"
+        f"policy = CheckpointPolicy(sys.argv[1], {_INTERVAL}, "
+        f"{config_hash!r})\n"
+        f"run_checkpointed(system, {_WARMUP}, {_MEASURE}, policy)\n"
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        ckdir = os.path.join(tmp, "ck")
+        env = dict(os.environ, REPRO_CHAOS_KILL_AFTER="3")
+        victim = subprocess.run([sys.executable, "-c", child_src, ckdir],
+                                env=env, capture_output=True, text=True)
+        if victim.returncode != -signal.SIGKILL:
+            return ChaosOutcome(
+                name, False,
+                error=f"victim exited {victim.returncode} instead of being "
+                      f"killed after its 3rd checkpoint: "
+                      f"{victim.stderr[-300:]}")
+        policy = CheckpointPolicy(ckdir, _INTERVAL, config_hash)
+        if not policy.has_checkpoint():
+            return ChaosOutcome(name, False,
+                                error="killed run left no checkpoint")
+        _header, payload = read_checkpoint(policy.path, kind="run",
+                                           config_hash=config_hash)
+        data = restore_system(payload)
+        start, finish = resume_checkpointed(data["system"], data["run"],
+                                            policy)
+    if (start, finish) != (ref_start, ref_finish):
+        return ChaosOutcome(name, False,
+                            error=f"cycles diverge: ({start}, {finish}) != "
+                                  f"({ref_start}, {ref_finish})")
+    if data["system"].stats.as_dict() != ref_stats:
+        return ChaosOutcome(name, False, error="stats diverge after resume")
+    return ChaosOutcome(name, True,
+                        detail="killed after 3rd checkpoint, resumed "
+                               "bit-identical")
+
+
+def _checkpoint_file_for_damage(directory: str) -> str:
+    """Produce a real checkpoint to damage."""
+    from repro.cpu.workloads import workload_by_name
+
+    config = _config("fastpath")
+    system = build_system(config, workload_by_name(_WORKLOAD))
+    policy = CheckpointPolicy(directory, _INTERVAL,
+                              fingerprint("chaos-damage"))
+    watchdog_path = policy.path
+    run_checkpointed(system, _WARMUP, _MEASURE, policy, keep_history=True)
+    # run_checkpointed discards nothing; the newest checkpoint survives
+    # under policy.path history copies.  Use the last history copy.
+    history = sorted(
+        entry for entry in os.listdir(directory)
+        if entry.startswith("run.ckpt.")
+    )
+    if history:
+        return os.path.join(directory, history[-1])
+    return watchdog_path  # pragma: no cover - interval > run length
+
+
+def _scenario_corrupt_checkpoint() -> ChaosOutcome:
+    """Bit-flips and truncation must raise CorruptCheckpointError."""
+    name = "corrupt-checkpoint"
+    with tempfile.TemporaryDirectory() as tmp:
+        path = _checkpoint_file_for_damage(tmp)
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        damages = {
+            "bad-magic": b"NOTACKPT" + raw[len(MAGIC):],
+            "payload-bitflip": raw[:-10] + bytes([raw[-10] ^ 0xFF])
+            + raw[-9:],
+            "truncated": raw[:len(raw) // 2],
+            "empty": b"",
+        }
+        for label, blob in damages.items():
+            damaged = os.path.join(tmp, f"damaged-{label}.ckpt")
+            with open(damaged, "wb") as handle:
+                handle.write(blob)
+            try:
+                read_checkpoint(damaged)
+            except CorruptCheckpointError:
+                continue  # the required typed outcome
+            except Exception as err:  # noqa: BLE001 - verdict
+                return ChaosOutcome(name, False,
+                                    error=f"{label}: wrong error "
+                                          f"{type(err).__name__}: {err}")
+            return ChaosOutcome(name, False,
+                                error=f"{label}: damage went undetected")
+    return ChaosOutcome(name, True,
+                        detail="bad magic / bitflip / truncation / empty "
+                               "all raise CorruptCheckpointError")
+
+
+def _scenario_stale_or_foreign_checkpoint() -> ChaosOutcome:
+    """Stale schema versions and config mismatches must be rejected with
+    IncompatibleCheckpointError before any state is deserialised."""
+    import json
+    import struct
+
+    name = "stale-or-foreign-checkpoint"
+    with tempfile.TemporaryDirectory() as tmp:
+        path = _checkpoint_file_for_damage(tmp)
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        (header_len,) = struct.unpack_from("<I", raw, len(MAGIC))
+        header_end = len(MAGIC) + 4 + header_len
+        header = json.loads(raw[len(MAGIC) + 4:header_end])
+        # Stale schema.
+        stale_header = dict(header, schema=999)
+        blob = json.dumps(stale_header).encode()
+        stale = os.path.join(tmp, "stale.ckpt")
+        with open(stale, "wb") as handle:
+            handle.write(MAGIC + struct.pack("<I", len(blob)) + blob
+                         + raw[header_end:])
+        try:
+            read_checkpoint(stale)
+        except IncompatibleCheckpointError:
+            pass
+        except Exception as err:  # noqa: BLE001 - verdict
+            return ChaosOutcome(name, False,
+                                error=f"stale schema: wrong error "
+                                      f"{type(err).__name__}: {err}")
+        else:
+            return ChaosOutcome(name, False,
+                                error="stale schema accepted")
+        # Config mismatch.
+        try:
+            read_checkpoint(path, config_hash=fingerprint("other-config"))
+        except IncompatibleCheckpointError:
+            return ChaosOutcome(
+                name, True,
+                detail="stale schema and foreign config both rejected")
+        except Exception as err:  # noqa: BLE001 - verdict
+            return ChaosOutcome(name, False,
+                                error=f"config mismatch: wrong error "
+                                      f"{type(err).__name__}: {err}")
+        return ChaosOutcome(name, False, error="foreign config accepted")
+
+
+def run_chaos_campaign(
+    pipelines=PIPELINES,
+    echo: Optional[Callable[[str], None]] = None,
+) -> List[ChaosOutcome]:
+    """Run every chaos scenario; returns one outcome per scenario.
+
+    Recovery scenarios run once per router pipeline in ``pipelines``
+    (``fastpath`` and the ``classic`` reference by default); damaged-file
+    scenarios are pipeline-independent and run once.
+    """
+    def say(message: str) -> None:
+        if echo is not None:
+            echo(message)
+
+    outcomes: List[ChaosOutcome] = []
+
+    def run(scenario: Callable[[], ChaosOutcome]) -> None:
+        outcome = scenario()
+        outcomes.append(outcome)
+        verdict = "ok" if outcome.ok else "FAIL"
+        say(f"  {outcome.scenario:34s} {verdict}  "
+            f"{outcome.detail or outcome.error}")
+
+    for pipeline in pipelines:
+        say(f"pipeline: {pipeline}")
+        reference = _reference(pipeline)
+        run(lambda: _scenario_clean(pipeline, reference))
+        # Before the first snapshot (fresh respawn + full replay) and
+        # after several (snapshot restore + partial replay).
+        run(lambda: _scenario_worker_sigkill(pipeline, reference, 3,
+                                             "early"))
+        run(lambda: _scenario_worker_sigkill(pipeline, reference, 200,
+                                             "late"))
+        run(lambda: _scenario_worker_sigstop(pipeline, reference))
+        run(lambda: _scenario_coordinator_sigkill(pipeline, reference))
+        run(lambda: _scenario_singleproc_sigkill(pipeline))
+    say("pipeline-independent scenarios")
+    run(_scenario_respawn_exhausted)
+    run(_scenario_corrupt_checkpoint)
+    run(_scenario_stale_or_foreign_checkpoint)
+    return outcomes

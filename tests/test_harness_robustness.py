@@ -81,6 +81,32 @@ def test_quarantine_logs_a_warning_when_it_wins(tmp_path, caplog):
     assert not os.path.exists(path)
 
 
+def test_quarantine_growth_is_capped(tmp_path, caplog):
+    """A crash-looping writer cannot fill the disk with .corrupt files.
+
+    Only the newest ``QUARANTINE_KEEP`` quarantined copies survive; the
+    rest are pruned with a warning naming each victim.
+    """
+    from repro.harness.cache import QUARANTINE_KEEP
+
+    path = str(tmp_path / "cache.json")
+    cache = ResultCache(path)
+    rounds = QUARANTINE_KEEP + 4
+    for round_no in range(rounds):
+        with open(path, "w") as fh:
+            fh.write(f"{{ torn json #{round_no}")
+        with caplog.at_level(logging.WARNING, logger="repro.harness.cache"):
+            assert cache.load_all() == {}
+    corrupt = sorted(
+        name for name in os.listdir(tmp_path)
+        if name.startswith("cache.json.corrupt.")
+    )
+    assert len(corrupt) == QUARANTINE_KEEP
+    assert any(
+        "pruned" in record.getMessage() for record in caplog.records
+    )
+
+
 # -- graceful degradation of failing runs -------------------------------
 
 @pytest.fixture
