@@ -19,7 +19,7 @@ from typing import Dict, Optional, TYPE_CHECKING, Set, Tuple
 from repro.circuits.table import CircuitEntry, CircuitTable, CircuitWalk, HopRecord
 from repro.noc.flit import CircuitKey, Flit, Message
 from repro.noc.link import Credit
-from repro.noc.topology import Mesh, Port
+from repro.noc.topology import Topology
 from repro.noc.vc import VcStage
 from repro.sim.config import CircuitMode, SystemConfig
 from repro.sim.kernel import SimulationError
@@ -99,10 +99,11 @@ class CircuitPolicy:
     #: (fragmented: reply VN with a circuit key).  ``None`` = always call.
     arrival_filter = None
 
-    def __init__(self, config: SystemConfig, mesh: Mesh, stats: Stats) -> None:
+    def __init__(self, config: SystemConfig, mesh: Topology, stats: Stats) -> None:
         self.config = config
         self.circuit = config.circuit
         self.mesh = mesh
+        self._local_base = mesh.local_base
         self.stats = stats
         self.noc = config.noc
         self._vn0_vcs = tuple(range(config.noc.vcs_per_vn[0]))
@@ -164,19 +165,19 @@ class CircuitPolicy:
     def retry_waiting(self, router: "Router", cycle: int) -> None:
         """Re-attempt queued circuit flits (ideal mode's buffered waits)."""
 
-    def handle_arrival(self, router: "Router", port: Port, flit: Flit, cycle: int) -> bool:
+    def handle_arrival(self, router: "Router", port: int, flit: Flit, cycle: int) -> bool:
         """Circuit-check an arriving flit; True = consumed by the circuit
         path (fly-through or circuit-VC buffering), False = normal packet."""
         return False
 
-    def handle_undo(self, router: "Router", port: Port, key: CircuitKey, cycle: int) -> None:
+    def handle_undo(self, router: "Router", port: int, key: CircuitKey, cycle: int) -> None:
         """Process an undo notice from the credit channel (sec. 4.4)."""
 
-    def on_tail_departure(self, router: "Router", in_port: Port, flit: Flit, cycle: int) -> None:
+    def on_tail_departure(self, router: "Router", in_port: int, flit: Flit, cycle: int) -> None:
         """A tail flit left via the packet pipeline (frees fragmented
         circuit entries that drained through their buffered VC)."""
 
-    def on_request_va(self, router: "Router", in_port: Port, msg: Message, cycle: int) -> None:
+    def on_request_va(self, router: "Router", in_port: int, msg: Message, cycle: int) -> None:
         """Reserve the reply's circuit, in parallel with VA (sec. 4.1)."""
 
     # -- NI-side hooks ------------------------------------------------------
@@ -255,12 +256,12 @@ class _TablePolicy(CircuitPolicy):
             ni.origin_table[msg.walk.key] = OriginEntry(msg.walk.key, msg.walk, cycle)
 
     # -- undo ------------------------------------------------------------
-    def handle_undo(self, router: "Router", port: Port, key: CircuitKey, cycle: int) -> None:
+    def handle_undo(self, router: "Router", port: int, key: CircuitKey, cycle: int) -> None:
         table = router.inputs[port].circuit_table
         if table is not None and table.remove(key) is not None:
             self.stats.bump("circuit.entries_undone")
         nxt = router.route_reply(key[0])
-        if nxt is not Port.LOCAL:
+        if nxt < self._local_base:
             router.send_undo(nxt, key, cycle)
 
     def cancel_origin(self, ni: "NetworkInterface", key: CircuitKey,
@@ -289,8 +290,8 @@ class _TablePolicy(CircuitPolicy):
             self.cancel_origin(ni, entry.key, cycle)
 
     # -- reservation helpers ----------------------------------------------
-    def _circuit_ports(self, router: "Router", in_port: Port, msg: Message
-                       ) -> Tuple[Port, Port]:
+    def _circuit_ports(self, router: "Router", in_port: int, msg: Message
+                       ) -> Tuple[int, int]:
         """(circuit input, circuit output) at this router for the reply.
 
         Ports are bidirectional: the reply re-enters this router through the
@@ -299,8 +300,8 @@ class _TablePolicy(CircuitPolicy):
         """
         return router.route_vn(0, msg.dest), in_port
 
-    def _record_hop(self, walk: CircuitWalk, router: "Router", circ_in: Port,
-                    circ_out: Port, reserved: bool, vc_index: Optional[int] = None,
+    def _record_hop(self, walk: CircuitWalk, router: "Router", circ_in: int,
+                    circ_out: int, reserved: bool, vc_index: Optional[int] = None,
                     window: Tuple[Optional[int], Optional[int]] = (None, None),
                     ) -> HopRecord:
         hop = HopRecord(router.node, circ_in, circ_out, reserved, vc_index,
@@ -331,7 +332,7 @@ class CompletePolicy(_TablePolicy):
         return True
 
     # -- reservation --------------------------------------------------------
-    def on_request_va(self, router: "Router", in_port: Port, msg: Message, cycle: int) -> None:
+    def on_request_va(self, router: "Router", in_port: int, msg: Message, cycle: int) -> None:
         walk: Optional[CircuitWalk] = msg.walk
         if walk is None or walk.failed:
             return
@@ -378,7 +379,7 @@ class CompletePolicy(_TablePolicy):
         """
         if not self.circuit.timed:
             return None
-        remaining = self.mesh.distance(router.node, msg.dest)
+        remaining = self.mesh.router_distance(router.node, msg.dest)
         estimate = (
             cycle
             + 7 * remaining
@@ -394,15 +395,15 @@ class CompletePolicy(_TablePolicy):
         slack = self.circuit.slack_per_hop * walk.path_hops
         return (estimate, estimate + occupancy + max(0, slack - walk.delay))
 
-    def _no_conflict(self, router: "Router", circ_in: Port, circ_out: Port,
+    def _no_conflict(self, router: "Router", circ_in: int, circ_out: int,
                      window: Optional[Tuple[int, int]], cycle: int) -> bool:
         """Two circuits with different inputs may not share an output
         (simultaneously for untimed, with overlapping windows for timed)."""
         for port, unit in router._input_units:
-            if port is circ_in or unit.circuit_table is None:
+            if port == circ_in or unit.circuit_table is None:
                 continue
             for entry in unit.circuit_table.entries.values():
-                if entry.out_port is not circ_out or not entry.live(cycle):
+                if entry.out_port != circ_out or not entry.live(cycle):
                     continue
                 if window is None or not entry.timed:
                     return False
@@ -410,7 +411,7 @@ class CompletePolicy(_TablePolicy):
                     return False
         return True
 
-    def _try_delayed(self, router: "Router", circ_in: Port, circ_out: Port,
+    def _try_delayed(self, router: "Router", circ_in: int, circ_out: int,
                      window: Tuple[int, int], walk: CircuitWalk, cycle: int,
                      ) -> Optional[Tuple[int, int]]:
         """SlackDelay: shift the slot later, within the remaining slack."""
@@ -425,12 +426,12 @@ class CompletePolicy(_TablePolicy):
                 return cand
         return None
 
-    def _fail_walk(self, router: "Router", walk: CircuitWalk, circ_in: Port,
-                   circ_out: Port, cycle: int) -> None:
+    def _fail_walk(self, router: "Router", walk: CircuitWalk, circ_in: int,
+                   circ_out: int, cycle: int) -> None:
         walk.failed = True
         self._record_hop(walk, router, circ_in, circ_out, False)
         self._c_reservation_failed += 1
-        if any(h.reserved for h in walk.hops) and circ_out is not Port.LOCAL:
+        if any(h.reserved for h in walk.hops) and circ_out < self._local_base:
             router.send_undo(circ_out, walk.key, cycle)
             walk.aborted = True
 
@@ -496,7 +497,7 @@ class CompletePolicy(_TablePolicy):
         return best
 
     # -- circuit flit traversal ----------------------------------------------
-    def handle_arrival(self, router: "Router", port: Port, flit: Flit, cycle: int) -> bool:
+    def handle_arrival(self, router: "Router", port: int, flit: Flit, cycle: int) -> bool:
         if not flit.on_circuit:
             return False
         msg = flit.msg
@@ -511,12 +512,14 @@ class CompletePolicy(_TablePolicy):
         if entry is None:
             raise SimulationError(
                 f"circuit flit {flit!r} found no entry at router "
-                f"{router.node} port {port.name} (key={key})"
+                f"{router.node} port {router.mesh.port_name(port)} "
+                f"(key={key})"
             )
         if not router.claim_path(port, entry.out_port):
             raise SimulationError(
                 f"complete-circuit collision at router {router.node}: "
-                f"{port.name} -> {entry.out_port.name}"
+                f"{router.mesh.port_name(port)} -> "
+                f"{router.mesh.port_name(entry.out_port)}"
             )
         router.forward_flit(entry.out_port, flit, cycle)
         self._c_flit_hops += 1
@@ -525,7 +528,7 @@ class CompletePolicy(_TablePolicy):
             self._c_entries_used += 1
         return True
 
-    def handle_arrival_fast(self, router: "Router", port: Port, flit: Flit,
+    def handle_arrival_fast(self, router: "Router", port: int, flit: Flit,
                             cycle: int) -> bool:
         """Flattened twin of :meth:`handle_arrival` for the fast router.
 
@@ -545,7 +548,8 @@ class CompletePolicy(_TablePolicy):
         if entry is None:
             raise SimulationError(
                 f"circuit flit {flit!r} found no entry at router "
-                f"{router.node} port {port.name} (key={key})"
+                f"{router.node} port {router.mesh.port_name(port)} "
+                f"(key={key})"
             )
         out = entry.out_port
         # Inlined claim_path; fault injection patches it per instance, so
@@ -565,7 +569,8 @@ class CompletePolicy(_TablePolicy):
         if not claimed:
             raise SimulationError(
                 f"complete-circuit collision at router {router.node}: "
-                f"{port.name} -> {out.name}"
+                f"{router.mesh.port_name(port)} -> "
+                f"{router.mesh.port_name(out)}"
             )
         # Inlined forward_flit (link send + batched counters).
         link = router.out_flit[out]
@@ -615,7 +620,7 @@ class FragmentedPolicy(_TablePolicy):
         return tuple(range(1, self.noc.vcs_per_vn[1]))
 
     # -- reservation --------------------------------------------------------
-    def on_request_va(self, router: "Router", in_port: Port, msg: Message, cycle: int) -> None:
+    def on_request_va(self, router: "Router", in_port: int, msg: Message, cycle: int) -> None:
         walk: Optional[CircuitWalk] = msg.walk
         if walk is None:
             return
@@ -686,7 +691,7 @@ class FragmentedPolicy(_TablePolicy):
         return ReplyPlan("packet", outcome)
 
     # -- traversal ------------------------------------------------------------
-    def handle_arrival(self, router: "Router", port: Port, flit: Flit, cycle: int) -> bool:
+    def handle_arrival(self, router: "Router", port: int, flit: Flit, cycle: int) -> bool:
         msg = flit.msg
         if msg.vn != 1 or msg.circuit_key is None:
             return False
@@ -710,7 +715,7 @@ class FragmentedPolicy(_TablePolicy):
         self._buffer_on_circuit_vc(router, port, entry, vc, flit, cycle)
         return True
 
-    def handle_arrival_fast(self, router: "Router", port: Port, flit: Flit,
+    def handle_arrival_fast(self, router: "Router", port: int, flit: Flit,
                             cycle: int) -> bool:
         """Flattened twin of :meth:`handle_arrival` + :meth:`_try_fly`.
 
@@ -740,7 +745,7 @@ class FragmentedPolicy(_TablePolicy):
             out_vc = None
             token = None
             new_dst = 0
-            if out is Port.LOCAL:
+            if out >= self._local_base:
                 eligible = True
             elif entry.fwd_reserved and entry.fwd_vc is not None:
                 out_vc = router.outputs[out].vcs[1][entry.fwd_vc]
@@ -814,11 +819,11 @@ class FragmentedPolicy(_TablePolicy):
         self._buffer_on_circuit_vc(router, port, entry, vc, flit, cycle)
         return True
 
-    def _try_fly(self, router: "Router", port: Port, entry: CircuitEntry,
+    def _try_fly(self, router: "Router", port: int, entry: CircuitEntry,
                  flit: Flit, cycle: int) -> bool:
         arrival_vc = flit.dst_vc
         out = entry.out_port
-        if out is Port.LOCAL:
+        if out >= self._local_base:
             if not router.claim_path(port, out):
                 return False
             router.forward_flit(out, flit, cycle)
@@ -849,7 +854,7 @@ class FragmentedPolicy(_TablePolicy):
         self._c_flit_hops += 1
         return True
 
-    def _buffer_on_circuit_vc(self, router: "Router", port: Port,
+    def _buffer_on_circuit_vc(self, router: "Router", port: int,
                               entry: CircuitEntry, vc, flit: Flit, cycle: int) -> None:
         # The flit may have been targeted at vc0 by a gap hop upstream; it
         # joins the reserved circuit VC, and the credit it owes upstream
@@ -860,7 +865,7 @@ class FragmentedPolicy(_TablePolicy):
             vc.route = entry.out_port
             router.vc_became_busy(port, vc)
             vc.ready_cycle = cycle + 1
-            if entry.out_port is Port.LOCAL or (
+            if entry.out_port >= self._local_base or (
                 entry.fwd_reserved and entry.fwd_vc is not None
             ):
                 vc.stage = VcStage.ACTIVE
@@ -876,7 +881,7 @@ class FragmentedPolicy(_TablePolicy):
                 else:
                     vc.stage = VcStage.VA
 
-    def _release_entry(self, router: "Router", port: Port, entry: CircuitEntry,
+    def _release_entry(self, router: "Router", port: int, entry: CircuitEntry,
                        vc, cycle: int) -> None:
         table = router.inputs[port].circuit_table
         table.remove(entry.key)
@@ -886,7 +891,7 @@ class FragmentedPolicy(_TablePolicy):
             if vc.stage is VcStage.IDLE:
                 router.vc_became_idle(port, vc)
 
-    def on_tail_departure(self, router: "Router", in_port: Port, flit: Flit,
+    def on_tail_departure(self, router: "Router", in_port: int, flit: Flit,
                           cycle: int) -> None:
         key = flit.msg.circuit_key
         if key is None or flit.msg.vn != 1:
@@ -916,7 +921,7 @@ class IdealPolicy(CircuitPolicy):
         outcome = "undone" if msg.outcome_hint == "undone" else "not_eligible"
         return ReplyPlan("packet", outcome)
 
-    def handle_arrival(self, router: "Router", port: Port, flit: Flit, cycle: int) -> bool:
+    def handle_arrival(self, router: "Router", port: int, flit: Flit, cycle: int) -> bool:
         if not flit.on_circuit:
             return False
         unit = router.inputs[port]
@@ -937,7 +942,7 @@ class IdealPolicy(CircuitPolicy):
                 else:
                     break
 
-    def _try_forward(self, router: "Router", port: Port, flit: Flit, cycle: int) -> bool:
+    def _try_forward(self, router: "Router", port: int, flit: Flit, cycle: int) -> bool:
         out = router.route_reply(flit.msg.dest)
         if not router.claim_path(port, out):
             return False
@@ -946,7 +951,7 @@ class IdealPolicy(CircuitPolicy):
         return True
 
 
-def make_policy(config: SystemConfig, mesh: Mesh, stats: Stats) -> CircuitPolicy:
+def make_policy(config: SystemConfig, mesh: Topology, stats: Stats) -> CircuitPolicy:
     """Instantiate the policy implementing ``config.circuit``."""
     mode = config.circuit.mode
     if mode is CircuitMode.NONE:

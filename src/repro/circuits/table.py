@@ -13,7 +13,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.noc.flit import CircuitKey
-from repro.noc.topology import Port
 
 
 class CircuitEntry:
@@ -34,8 +33,8 @@ class CircuitEntry:
     def __init__(
         self,
         key: CircuitKey,
-        in_port: Port,
-        out_port: Port,
+        in_port: int,
+        out_port: int,
         built_cycle: int,
         window_start: Optional[int] = None,
         window_end: Optional[int] = None,
@@ -127,8 +126,8 @@ class HopRecord:
     def __init__(
         self,
         node: int,
-        in_port: Port,
-        out_port: Port,
+        in_port: int,
+        out_port: int,
         reserved: bool,
         vc_index: Optional[int] = None,
         window_start: Optional[int] = None,
@@ -230,5 +229,5 @@ def circuit_key(reply_dest: int, block: int) -> CircuitKey:
 
 
 def format_entry(entry: CircuitEntry) -> Tuple:  # pragma: no cover - debug
-    return (entry.key, entry.in_port.name, entry.out_port.name,
+    return (entry.key, int(entry.in_port), int(entry.out_port),
             entry.window_start, entry.window_end)

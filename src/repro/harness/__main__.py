@@ -14,9 +14,15 @@ Usage::
     python -m repro.harness trace --workload fft    # telemetry: Perfetto
                                               # trace + metric time series
     python -m repro.harness profile           # kernel wall-time profile
+    python -m repro.harness topology          # BASELINE vs Complete_NoAck
+                                              # per topology (mesh/torus/
+                                              # cmesh comparison figure)
+    python -m repro.harness check --topology  # static topology self-check
+                                              # (adjacency + route tables)
 
 Environment:
     REPRO_SCALE      simulation-length multiplier (default 1.0)
+    REPRO_TOPOLOGY   network topology: mesh (default), torus or cmesh
     REPRO_FULL       1 = sweep all 22 workloads (default: 6-workload subset)
     REPRO_CACHE      path of a JSON result cache reused across invocations
     REPRO_JOBS       worker processes when --jobs is not given (0 = all cores)
@@ -101,6 +107,39 @@ def cmd_fig10(args) -> None:
     print(f"Figure 10 - per-application speedup ({args.cores} cores, "
           "SlackDelay1 + NoAck)")
     print(render.render_figure10(data))
+
+
+def cmd_check_topology(args) -> int:
+    """Static self-check of registered topologies: port/opposite symmetry,
+    neighbor reciprocity, route-table reachability of every (src, dst)
+    pair, and the request/reply same-routers invariant."""
+    from repro.noc.topology import TOPOLOGY_CHOICES
+    from repro.validate import check_topology
+
+    names = (TOPOLOGY_CHOICES if args.topology in (None, "all")
+             else [args.topology])
+    print(f"Topology self-check ({args.cores} cores)")
+    failures = 0
+    for name in names:
+        try:
+            report = check_topology(name, args.cores)
+        except ValueError as exc:
+            failures += 1
+            print(f"  {name:8s} ERROR: {exc}")
+            continue
+        if report.ok:
+            print(f"  {name:8s} OK  {report.checks_run} checks, "
+                  f"{report.n_routers} routers")
+        else:
+            failures += 1
+            print(f"  {name:8s} {len(report.problems)} problem(s):")
+            for problem in report.problems[:10]:
+                print(f"      {problem}")
+    if failures:
+        print(f"{failures} topology check(s) FAILED")
+        return 1
+    print("all topologies clean: adjacency and route tables verified")
+    return 0
 
 
 def cmd_check(args) -> int:
@@ -242,6 +281,24 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_topology(args) -> int:
+    """Topology-comparison figure: BASELINE vs Complete_NoAck speedup,
+    circuit hit rate and reply latency on mesh, torus and cmesh."""
+    data = figures.figure_topology(_workloads(args), args.cores, args.seed)
+    text = render.render_figure_topology(data)
+    print(f"Topology comparison - Complete_NoAck vs Baseline "
+          f"({args.cores} cores)")
+    print(text)
+    out_path = os.path.join("out", "figure_topology.txt")
+    os.makedirs(os.path.dirname(out_path), exist_ok=True)
+    with open(out_path, "w") as fh:
+        fh.write(f"Topology comparison - Complete_NoAck vs Baseline "
+                 f"({args.cores} cores)\n")
+        fh.write(text + "\n")
+    print(f"  written: {out_path}")
+    return 0
+
+
 def cmd_profile(args) -> int:
     """Kernel self-profile of one run: wall-time and ticks per component
     class, plus activity-driven skip effectiveness."""
@@ -310,7 +367,7 @@ def main(argv=None) -> int:
     parser.add_argument("what", nargs="?", default=None,
                         choices=list(COMMANDS) + ["all", "check", "inject",
                                                   "chaos", "trace",
-                                                  "profile"])
+                                                  "profile", "topology"])
     parser.add_argument("--cores", type=int, default=16,
                         help="chip size (16 or 64; default 16)")
     parser.add_argument("--seed", type=int, default=1)
@@ -344,6 +401,10 @@ def main(argv=None) -> int:
     parser.add_argument("--per-router", dest="per_router",
                         action="store_true",
                         help="trace: one buffer-occupancy stream per router")
+    parser.add_argument("--topology", metavar="NAME", nargs="?",
+                        const="all", default=None,
+                        help="with check: statically verify the named "
+                             "topology (default: all registered ones)")
     args = parser.parse_args(argv)
     try:
         jobs = parallel.resolve_jobs(args.jobs)
@@ -352,6 +413,8 @@ def main(argv=None) -> int:
         parser.error(str(exc))
     if args.what == "inject" or (args.what is None and args.inject):
         return cmd_inject(args)
+    if args.topology is not None and args.what in (None, "check"):
+        return cmd_check_topology(args)
     if args.what == "check" or (args.what is None and args.check):
         return cmd_check(args)
     if args.what == "chaos":
@@ -360,6 +423,8 @@ def main(argv=None) -> int:
         return cmd_trace(args)
     if args.what == "profile":
         return cmd_profile(args)
+    if args.what == "topology":
+        return cmd_topology(args)
     if args.what is None:
         parser.error("nothing to do: name a table/figure, or use "
                      "--check / --inject")

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import math
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional
 
 from repro.circuits.outcomes import outcome_fractions
+from repro.noc.topology import resolve_topology
 from repro.cpu.workloads import ALL_WORKLOADS, workload_by_name
 from repro.harness.cache import ResultCache
 from repro.power.energy import network_energy
@@ -106,6 +107,10 @@ class RunSpec:
     #: so this field is deliberately NOT part of :meth:`key`: observed and
     #: unobserved runs share cache entries.
     telemetry: Optional[TelemetryConfig] = None
+    #: Network topology ("mesh"/"torus"/"cmesh").  The empty string
+    #: defers to ``REPRO_TOPOLOGY`` (then mesh), mirroring
+    #: ``config.noc.topology``.
+    topology: str = ""
 
     def scaled(self) -> "RunSpec":
         factor = scale()
@@ -116,13 +121,23 @@ class RunSpec:
             max(200, int(self.measure_instructions * factor)),
             max(100, int(self.warmup_instructions * factor)),
             self.telemetry,
+            self.topology,
         )
 
+    def resolved_topology(self) -> str:
+        """Effective topology name (resolving '' through the environment)."""
+        return resolve_topology(self.topology)
+
     def key(self) -> str:
-        return (
+        base = (
             f"{self.n_cores}/{self.variant.value}/{self.workload}/{self.seed}/"
             f"{self.measure_instructions}/{self.warmup_instructions}"
         )
+        # Mesh runs keep their historical keys so existing disk caches
+        # stay valid; other topologies get their own cache entries even
+        # when selected through REPRO_TOPOLOGY.
+        topology = self.resolved_topology()
+        return base if topology == "mesh" else f"{base}/{topology}"
 
     @property
     def observed(self) -> bool:
@@ -130,10 +145,12 @@ class RunSpec:
 
     def label(self) -> str:
         """Filesystem-safe name for telemetry artifacts of this run."""
-        return (
+        base = (
             f"{self.variant.value}_{self.workload}_{self.n_cores}c"
             f"_s{self.seed}"
         )
+        topology = self.resolved_topology()
+        return base if topology == "mesh" else f"{base}_{topology}"
 
 
 @dataclass
@@ -400,6 +417,9 @@ def run_experiment(spec: RunSpec) -> RunResult:
     config = SystemConfig(n_cores=spec.n_cores, seed=spec.seed).with_variant(
         spec.variant
     )
+    if spec.topology:
+        config = replace(config, noc=replace(config.noc,
+                                             topology=spec.topology))
     shards = _resolved_shards(spec, config)
     if shards > 1:
         from repro.sim.shard import _SNAPSHOT_RE, run_sharded

@@ -11,6 +11,7 @@ from repro.harness.experiment import (
     run_experiment,
     run_experiment_safe,
 )
+from repro.noc.topology import TOPOLOGY_CHOICES
 from repro.sim.config import Variant
 from repro.sim.stats import mean_and_stderr
 
@@ -173,4 +174,39 @@ def figure10(workloads: List[str], n_cores: int = 64, seed: int = 1,
         base = _run(RunSpec(n_cores, Variant.BASELINE, workload, seed))
         result = _run(RunSpec(n_cores, variant, workload, seed))
         out[workload] = _ratio(base.exec_cycles, result.exec_cycles)
+    return out
+
+
+def figure_topology(workloads: List[str], n_cores: int = 16, seed: int = 1,
+                    topologies: Tuple[str, ...] = TOPOLOGY_CHOICES,
+                    variant: Variant = Variant.COMPLETE_NOACK
+                    ) -> Dict[str, Dict[str, Tuple[float, float]]]:
+    """Circuit effectiveness per topology (BASELINE vs ``variant``).
+
+    Per topology: workload-averaged (mean, stderr) of the speedup over
+    that topology's own baseline, of the circuit success rate, and of
+    the mean circuit-reply network latency.  The paper's mechanism only
+    needs deterministic same-routers routing, so the comparison shows it
+    carrying over from the mesh to the torus and concentrated mesh.
+    """
+    out: Dict[str, Dict[str, Tuple[float, float]]] = {}
+    for topology in topologies:
+        speedups, success, latency = [], [], []
+        for workload in workloads:
+            base = _run(RunSpec(n_cores, Variant.BASELINE, workload, seed,
+                                topology=topology))
+            result = _run(RunSpec(n_cores, variant, workload, seed,
+                                  topology=topology))
+            speedups.append(_ratio(base.exec_cycles, result.exec_cycles))
+            replies = result.counter("circuit.replies_total")
+            success.append(
+                result.counter("circuit.outcome.on_circuit") / replies
+                if replies else float("nan")
+            )
+            latency.append(result.mean("lat.net.crep"))
+        out[topology] = {
+            "speedup": mean_and_stderr(speedups),
+            "circuit_success": mean_and_stderr(success),
+            "reply_latency": mean_and_stderr(latency),
+        }
     return out

@@ -105,3 +105,25 @@ def render_figure10(data: Mapping[str, float]) -> str:
         for workload, speedup in sorted(data.items(), key=lambda kv: -kv[1])
     ]
     return format_table(["application", "speedup", "gain"], rows)
+
+
+def render_figure_topology(
+    data: Mapping[str, Mapping[str, Tuple[float, float]]]
+) -> str:
+    rows = []
+    for topology, metrics in data.items():
+        speedup, speedup_err = metrics["speedup"]
+        success, _ = metrics["circuit_success"]
+        latency, _ = metrics["reply_latency"]
+        rows.append([
+            topology,
+            f"{speedup:.3f}",
+            f"±{speedup_err:.3f}",
+            f"{100 * success:.1f}%",
+            f"{latency:.1f}",
+        ])
+    return format_table(
+        ["topology", "speedup", "stderr", "circuit hit rate",
+         "crep latency (cycles)"],
+        rows,
+    )

@@ -1,12 +1,27 @@
-"""Cycle-level NoC substrate: mesh topology, wormhole routers, interfaces."""
+"""Cycle-level NoC substrate: pluggable topologies, wormhole routers, NIs."""
 
 from repro.noc.flit import Flit, Message
 from repro.noc.network import Network
 from repro.noc.routing import route_xy, route_yx
-from repro.noc.topology import LOCAL, Mesh, Port, opposite
+from repro.noc.topology import (
+    CMesh,
+    ConfigError,
+    LOCAL,
+    Mesh,
+    Port,
+    TOPOLOGY_CHOICES,
+    Topology,
+    Torus,
+    build_topology,
+    make_topology,
+    opposite,
+    resolve_topology,
+)
 from repro.noc.traffic import RequestReplyTraffic
 
 __all__ = [
+    "CMesh",
+    "ConfigError",
     "Flit",
     "LOCAL",
     "Mesh",
@@ -14,7 +29,13 @@ __all__ = [
     "Network",
     "Port",
     "RequestReplyTraffic",
+    "TOPOLOGY_CHOICES",
+    "Topology",
+    "Torus",
+    "build_topology",
+    "make_topology",
     "opposite",
+    "resolve_topology",
     "route_xy",
     "route_yx",
 ]

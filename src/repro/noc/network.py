@@ -8,7 +8,7 @@ from repro.noc.flit import Message
 from repro.noc.interface import NetworkInterface, ReferenceNetworkInterface
 from repro.noc.link import CreditLink, FlitLink
 from repro.noc.router import ReferenceRouter, Router
-from repro.noc.topology import Mesh, Port, opposite
+from repro.noc.topology import build_topology
 from repro.sim.stats import Stats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -26,8 +26,11 @@ class Network:
 
         self.config = config
         self.stats = stats if stats is not None else Stats()
-        self.mesh = Mesh(config.mesh_side)
-        self.policy = make_policy(config, self.mesh, self.stats)
+        self.topo = build_topology(config)
+        #: Legacy alias - most call sites only need n_nodes/neighbor-style
+        #: queries that every Topology provides.
+        self.mesh = self.topo
+        self.policy = make_policy(config, self.topo, self.stats)
         # ``fastpath=False`` builds the pre-overhaul reference pipeline so
         # A/B tests can pin the optimised path bit-identical to it.
         if config.noc.fastpath:
@@ -35,24 +38,24 @@ class Network:
         else:
             router_cls, ni_cls = ReferenceRouter, ReferenceNetworkInterface
         self.routers: List[Router] = [
-            router_cls(node, self.mesh, config, self.policy, self.stats)
-            for node in range(self.mesh.n_nodes)
+            router_cls(router, self.topo, config, self.policy, self.stats)
+            for router in range(self.topo.n_routers)
         ]
         self.interfaces: List[NetworkInterface] = [
-            ni_cls(node, self.mesh, config, self.policy, self.stats)
-            for node in range(self.mesh.n_nodes)
+            ni_cls(node, self.topo, config, self.policy, self.stats)
+            for node in range(self.topo.n_nodes)
         ]
         self._wire()
 
     def _wire(self) -> None:
         latency = self.config.noc.link_latency
+        topo = self.topo
         # Router <-> router links.
-        for node, router in enumerate(self.routers):
-            for port in router.ports:
-                if port is Port.LOCAL or router.out_flit[port] is not None:
+        for rid, router in enumerate(self.routers):
+            for port, nbr, back in topo.neighbors(rid):
+                if router.out_flit[port] is not None:
                     continue
-                neighbor = self.routers[self.mesh.neighbor(node, port)]
-                back = opposite(port)
+                neighbor = self.routers[nbr]
                 down = FlitLink(latency)
                 up = CreditLink(latency)
                 down.watcher = neighbor
@@ -69,25 +72,26 @@ class Network:
                 neighbor.in_credit[back] = rev_credit
                 router.in_flit[port] = rev
                 router.out_credit[port] = rev_credit
-        # Router <-> NI (LOCAL port) links.
-        for node, router in enumerate(self.routers):
-            ni = self.interfaces[node]
+        # Router <-> NI (local port) links.
+        for node, ni in enumerate(self.interfaces):
+            router = self.routers[topo.router_of(node)]
+            local = topo.local_port(node)
             inject = FlitLink(latency)
             inject_credit = CreditLink(latency)
             inject.watcher = router
             inject_credit.watcher = ni
             ni.to_router = inject
-            router.in_flit[Port.LOCAL] = inject
-            router.out_credit[Port.LOCAL] = inject_credit
+            router.in_flit[local] = inject
+            router.out_credit[local] = inject_credit
             ni.credit_in = inject_credit
             eject = FlitLink(latency)
             eject_credit = CreditLink(latency)
             eject.watcher = ni
             eject_credit.watcher = router
-            router.out_flit[Port.LOCAL] = eject
+            router.out_flit[local] = eject
             ni.from_router = eject
             ni.credit_out = eject_credit
-            router.in_credit[Port.LOCAL] = eject_credit
+            router.in_credit[local] = eject_credit
         for router in self.routers:
             router.finalize_wiring()
 
@@ -129,8 +133,10 @@ class Network:
         shard's intra-cycle schedule is a subsequence of the
         single-process one.
         """
+        routers = (None if nodes is None
+                   else {self.topo.router_of(n) for n in nodes})
         for router in self.routers:
-            if nodes is None or router.node in nodes:
+            if routers is None or router.node in routers:
                 sim.add(router)
         for ni in self.interfaces:
             if nodes is None or ni.node in nodes:
@@ -161,7 +167,8 @@ class Network:
             for port in router.ports:
                 link = router.out_flit[port]
                 if link is not None:
-                    yield f"router{router.node}.out.{port.name}", link
+                    yield (f"router{router.node}.out."
+                           f"{self.topo.port_name(port)}", link)
         for ni in self.interfaces:
             if ni.to_router is not None:
                 yield f"ni{ni.node}.inject", ni.to_router
@@ -178,7 +185,8 @@ class Network:
             for port in router.ports:
                 link = router.out_credit[port]
                 if link is not None:
-                    yield f"router{router.node}.credit.{port.name}", link
+                    yield (f"router{router.node}.credit."
+                           f"{self.topo.port_name(port)}", link)
         for ni in self.interfaces:
             if ni.credit_out is not None:
                 yield f"ni{ni.node}.eject_credit", ni.credit_out

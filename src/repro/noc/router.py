@@ -15,7 +15,7 @@ prioritises circuit flits; packet flits that already won switch allocation
 retry their traversal the next cycle (section 4.3).
 
 Two pipelines live here.  :class:`Router` is the optimised saturation
-hot path: dense ``Port``-indexed lists instead of dicts, precomputed
+hot path: dense port-indexed lists instead of dicts, precomputed
 route tables, per-unit round-robin arbiters over integer candidate
 codes with reused scratch lists, inlined link drains, and hot counters
 batched into plain ints that a registered :class:`~repro.sim.stats.Stats`
@@ -39,7 +39,7 @@ from repro.noc.allocators import (
 from repro.noc.flit import Flit
 from repro.noc.link import Credit, CreditLink, FlitLink
 from repro.noc.routing import route_for_vn, route_tables
-from repro.noc.topology import Mesh, Port
+from repro.noc.topology import Topology
 from repro.noc.vc import InputVc, OutputVc, VcStage
 from repro.sim.kernel import SimulationError
 from repro.sim.stats import Stats
@@ -51,8 +51,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Effectively infinite credit count used for ejection (NI sink) ports.
 EJECTION_CREDITS = 1 << 30
 
-_N_PORTS = len(Port)
-_LOCAL = Port.LOCAL
 _ACTIVE = VcStage.ACTIVE
 _VA = VcStage.VA
 _IDLE = VcStage.IDLE
@@ -64,7 +62,7 @@ class InputUnit:
     __slots__ = ("port", "vcs", "circuit_table", "wait_queue", "busy_count",
                  "busy_list", "sa_arb")
 
-    def __init__(self, port: Port, vcs: List[List[InputVc]]) -> None:
+    def __init__(self, port: int, vcs: List[List[InputVc]]) -> None:
         self.port = port
         #: vcs[vn][vc_index]
         self.vcs = vcs
@@ -87,7 +85,7 @@ class OutputUnit:
 
     __slots__ = ("port", "vcs", "sa_arb")
 
-    def __init__(self, port: Port, vcs: List[List[OutputVc]]) -> None:
+    def __init__(self, port: int, vcs: List[List[OutputVc]]) -> None:
         self.port = port
         self.vcs = vcs
         #: Phase-2 switch-allocation arbiter among contending input ports.
@@ -95,7 +93,7 @@ class OutputUnit:
 
 
 class Router:
-    """One mesh router (optimised hot-path pipeline).
+    """One NoC router (optimised hot-path pipeline).
 
     Wiring (set by :class:`~repro.noc.network.Network`): for each port,
     ``in_flit[p]`` delivers flits from the neighbour/NI, ``out_flit[p]``
@@ -103,14 +101,16 @@ class Router:
     out of ``p``, and ``out_credit[p]`` returns credits (and undo notices)
     for flits we received on ``p``.
 
-    All six per-port structures are dense lists indexed by the ``Port``
-    IntEnum (``None`` where the port does not exist / is not wired), so
-    the per-cycle stage loops pay a C-level list index instead of a dict
-    hash per access.  Iterate present ports via ``self.ports`` or the
-    ``_input_units`` pairs.
+    All six per-port structures are dense lists indexed by the plain-int
+    port id, sized to the topology's ``max_radix`` (``None`` where the
+    port does not exist / is not wired), so the per-cycle stage loops pay
+    a C-level list index instead of a dict hash per access.  Iterate
+    present ports via ``self.ports`` or the ``_input_units`` pairs.
+    ``node`` is the *router* id; topologies with concentration attach
+    several nodes through local ports >= ``topology.local_base``.
     """
 
-    def __init__(self, node: int, mesh: Mesh, config: "SystemConfig",
+    def __init__(self, node: int, mesh: Topology, config: "SystemConfig",
                  policy, stats: Stats) -> None:
         self.node = node
         self.mesh = mesh
@@ -118,9 +118,12 @@ class Router:
         self.policy = policy
         self.stats = stats
         noc = config.noc
-        self.ports: List[Port] = mesh.router_ports(node)
-        self.inputs: List[Optional[InputUnit]] = [None] * _N_PORTS
-        self.outputs: List[Optional[OutputUnit]] = [None] * _N_PORTS
+        n_ports = mesh.max_radix
+        local_base = mesh.local_base
+        self._local_base = local_base
+        self.ports: List[int] = mesh.router_ports(node)
+        self.inputs: List[Optional[InputUnit]] = [None] * n_ports
+        self.outputs: List[Optional[OutputUnit]] = [None] * n_ports
         depth = noc.buffer_depth_flits
         self._bufferless_vcs = policy.bufferless_vcs()  # set of (vn, vc)
         for port in self.ports:
@@ -137,7 +140,7 @@ class Router:
                     ivc.rkey = (port, vn, index)
                     ivc.va_arb = RoundRobinArbiter()
                     row_in.append(ivc)
-                    if port is _LOCAL:
+                    if port >= local_base:
                         credits = EJECTION_CREDITS
                     else:
                         credits = vc_depth
@@ -150,18 +153,18 @@ class Router:
             self.inputs[port] = InputUnit(port, in_vcs)
             self.outputs[port] = OutputUnit(port, out_vcs)
         policy.attach_router(self)
-        # Channels, wired by the Network (dense, Port-indexed).
-        self.in_flit: List[Optional[FlitLink]] = [None] * _N_PORTS
-        self.out_flit: List[Optional[FlitLink]] = [None] * _N_PORTS
-        self.in_credit: List[Optional[CreditLink]] = [None] * _N_PORTS
-        self.out_credit: List[Optional[CreditLink]] = [None] * _N_PORTS
-        # Precomputed DOR next-hop rows for this node: [vn] -> dest -> Port.
+        # Channels, wired by the Network (dense, port-indexed).
+        self.in_flit: List[Optional[FlitLink]] = [None] * n_ports
+        self.out_flit: List[Optional[FlitLink]] = [None] * n_ports
+        self.in_credit: List[Optional[CreditLink]] = [None] * n_ports
+        self.out_credit: List[Optional[CreditLink]] = [None] * n_ports
+        # Precomputed next-hop rows for this router: [vn] -> dest -> port.
         req_table, rep_table = route_tables(mesh, noc.request_xy)
         self._route_rows = (req_table[node], rep_table[node])
         # Pipeline state.  Granted traversals carry the winning InputVc
         # itself so switch traversal skips the unit/vn/index re-lookup.
-        self._st_pending: List[Tuple[int, Port, InputVc]] = []
-        self._st_scratch: List[Tuple[int, Port, InputVc]] = []
+        self._st_pending: List[Tuple[int, int, InputVc]] = []
+        self._st_scratch: List[Tuple[int, int, InputVc]] = []
         self._out_claimed = 0
         self._in_claimed = 0
         #: Count of VCs not in IDLE stage (fast-path idle check).
@@ -204,9 +207,9 @@ class Router:
         # Reused allocation scratch (never escapes a tick).
         self._sa_codes: List[int] = []
         self._sa_vcs: List[InputVc] = []
-        self._sa_out_order: List[Port] = []
-        self._sa_out_cands: List[List[Port]] = [[] for _ in range(_N_PORTS)]
-        self._sa_win_vc: List[Optional[InputVc]] = [None] * _N_PORTS
+        self._sa_out_order: List[int] = []
+        self._sa_out_cands: List[List[int]] = [[] for _ in range(n_ports)]
+        self._sa_win_vc: List[Optional[InputVc]] = [None] * n_ports
         self._va_codes: List[int] = []
         self._va_objs: List[OutputVc] = []
         self._va_touched: List[OutputVc] = []
@@ -258,17 +261,17 @@ class Router:
     # ------------------------------------------------------------------
     # Helpers used by policies and the network interface machinery.
     # ------------------------------------------------------------------
-    def vc(self, port: Port, vn: int, index: int) -> InputVc:
+    def vc(self, port: int, vn: int, index: int) -> InputVc:
         return self.inputs[port].vcs[vn][index]
 
-    def output_vc(self, port: Port, vn: int, index: int) -> OutputVc:
+    def output_vc(self, port: int, vn: int, index: int) -> OutputVc:
         return self.outputs[port].vcs[vn][index]
 
     def input_units(self):
         """(port, InputUnit) pairs for the ports that exist, in port order."""
         return self._input_units
 
-    def claim_path(self, in_port: Port, out_port: Port) -> bool:
+    def claim_path(self, in_port: int, out_port: int) -> bool:
         """Atomically claim crossbar input+output lines for this cycle."""
         out_bit = 1 << out_port
         in_bit = 1 << in_port
@@ -278,7 +281,7 @@ class Router:
         self._in_claimed |= in_bit
         return True
 
-    def forward_flit(self, out_port: Port, flit: Flit, cycle: int) -> None:
+    def forward_flit(self, out_port: int, flit: Flit, cycle: int) -> None:
         """Send ``flit`` through the crossbar onto ``out_port``'s link."""
         self.out_flit[out_port].send(flit, cycle)
         self.forwarded += 1
@@ -287,17 +290,17 @@ class Router:
         if self.tracer is not None:
             self.tracer(cycle, self, out_port, flit)
 
-    def return_credit(self, in_port: Port, vn: int, vc_index: int, cycle: int) -> None:
+    def return_credit(self, in_port: int, vn: int, vc_index: int, cycle: int) -> None:
         """Return one buffer credit upstream for ``in_port``'s (vn, vc)."""
         self.out_credit[in_port].send_credit(vn, vc_index, cycle)
         self._c_credits += 1
 
-    def send_undo(self, out_port: Port, key, cycle: int) -> None:
+    def send_undo(self, out_port: int, key, cycle: int) -> None:
         """Propagate an undo notice toward the circuit destination."""
         self.out_credit[out_port].send_undo(key, cycle)
         self.stats.bump("circuit.undo_hops")
 
-    def vc_became_busy(self, port: Port, vc: InputVc) -> None:
+    def vc_became_busy(self, port: int, vc: InputVc) -> None:
         self._busy_vcs += 1
         unit = self.inputs[port]
         unit.busy_count += 1
@@ -308,17 +311,17 @@ class Router:
             i -= 1
         busy.insert(i, vc)
 
-    def vc_became_idle(self, port: Port, vc: InputVc) -> None:
+    def vc_became_idle(self, port: int, vc: InputVc) -> None:
         self._busy_vcs -= 1
         unit = self.inputs[port]
         unit.busy_count -= 1
         unit.busy_list.remove(vc)
 
-    def route_vn(self, vn: int, dest: int) -> Port:
+    def route_vn(self, vn: int, dest: int) -> int:
         """Precomputed DOR next hop from this router for ``(vn, dest)``."""
         return self._route_rows[vn][dest]
 
-    def route_reply(self, dest: int) -> Port:
+    def route_reply(self, dest: int) -> int:
         """Reply-VN route from this router toward ``dest``."""
         return self._route_rows[1][dest]
 
@@ -699,6 +702,7 @@ class Router:
             # SA phase 2: one grant per output port.
             if sa_found:
                 st_pending = self._st_pending
+                local_base = self._local_base
                 grants = 0
                 for route in out_order:
                     contenders = out_cands[route]
@@ -711,7 +715,7 @@ class Router:
                     del contenders[:]
                     vc = win_vc[winner]
                     win_vc[winner] = None
-                    if route is not _LOCAL:
+                    if route < local_base:
                         vc.out_obj.credits -= 1
                     vc.granted_pending = True
                     st_pending.append((cycle + 1, winner, vc))
@@ -854,20 +858,21 @@ class Router:
                     due = queue[0][0]
         return due
 
-    def _overflow(self, port: Port, flit: Flit, vn: int, dst_vc: int,
+    def _overflow(self, port: int, flit: Flit, vn: int, dst_vc: int,
                   vc: InputVc) -> None:
         """Raise the pre-overhaul buffer-overflow diagnostics."""
+        port_name = self.mesh.port_name(port)
         if vc.depth == 0:
             raise SimulationError(
                 f"packet flit {flit!r} targeted bufferless VC "
-                f"({vn},{dst_vc}) at router {self.node} port {port.name}"
+                f"({vn},{dst_vc}) at router {self.node} port {port_name}"
             )
         raise SimulationError(
-            f"buffer overflow at router {self.node} port {port.name} "
+            f"buffer overflow at router {self.node} port {port_name} "
             f"vc ({vn},{dst_vc})"
         )
 
-    def _buffer_flit(self, port: Port, flit: Flit, cycle: int) -> None:
+    def _buffer_flit(self, port: int, flit: Flit, cycle: int) -> None:
         vn = flit.msg.vn
         vc = self.inputs[port].vcs[vn][flit.dst_vc]
         if len(vc.buffer) >= vc.depth:
@@ -923,7 +928,7 @@ class ReferenceRouter(Router):
     #: reference pipeline keeps the separate tick / next_wake calls.
     tick_wake = None
 
-    def __init__(self, node: int, mesh: Mesh, config: "SystemConfig",
+    def __init__(self, node: int, mesh: Topology, config: "SystemConfig",
                  policy, stats: Stats) -> None:
         super().__init__(node, mesh, config, policy, stats)
         self._va_p1 = ArbiterPool(ReferenceRoundRobinArbiter)
@@ -952,7 +957,7 @@ class ReferenceRouter(Router):
         if self._busy_vcs:
             self._allocate(cycle)
 
-    def forward_flit(self, out_port: Port, flit: Flit, cycle: int) -> None:
+    def forward_flit(self, out_port: int, flit: Flit, cycle: int) -> None:
         self.out_flit[out_port].send(flit, cycle)
         self.forwarded += 1
         self.stats.bump("noc.xbar_traversals")
@@ -960,7 +965,7 @@ class ReferenceRouter(Router):
         if self.tracer is not None:
             self.tracer(cycle, self, out_port, flit)
 
-    def return_credit(self, in_port: Port, vn: int, vc_index: int, cycle: int) -> None:
+    def return_credit(self, in_port: int, vn: int, vc_index: int, cycle: int) -> None:
         self.out_credit[in_port].send_credit(vn, vc_index, cycle)
         self.stats.bump("noc.credits_sent")
 
@@ -989,18 +994,19 @@ class ReferenceRouter(Router):
                     continue
                 self._buffer_flit(port, flit, cycle)
 
-    def _buffer_flit(self, port: Port, flit: Flit, cycle: int) -> None:
+    def _buffer_flit(self, port: int, flit: Flit, cycle: int) -> None:
         vn = flit.msg.vn
         vc = self.inputs[port].vcs[vn][flit.dst_vc]
         if vc.depth == 0:
             raise SimulationError(
                 f"packet flit {flit!r} targeted bufferless VC "
-                f"({vn},{flit.dst_vc}) at router {self.node} port {port.name}"
+                f"({vn},{flit.dst_vc}) at router {self.node} port "
+                f"{self.mesh.port_name(port)}"
             )
         if len(vc.buffer) >= vc.depth:
             raise SimulationError(
-                f"buffer overflow at router {self.node} port {port.name} "
-                f"vc ({vn},{flit.dst_vc})"
+                f"buffer overflow at router {self.node} port "
+                f"{self.mesh.port_name(port)} vc ({vn},{flit.dst_vc})"
             )
         vc.buffer.append((flit, cycle, flit.dst_vc))
         self.stats.bump("noc.buffer_writes")
@@ -1015,16 +1021,14 @@ class ReferenceRouter(Router):
         vc.ready_cycle = cycle + 1
         self.stats.bump("noc.route_computations")
 
-    def route_reply(self, dest: int) -> Port:
-        if dest == self.node:
-            return Port.LOCAL
+    def route_reply(self, dest: int) -> int:
         return route_for_vn(self.mesh, 1, self.node, dest, self._request_xy)
 
     # -- stage 4 ---------------------------------------------------------
     def _switch_traversal(self, cycle: int) -> None:
         if not self._st_pending:
             return
-        remaining: List[Tuple[int, Port, InputVc]] = []
+        remaining: List[Tuple[int, int, InputVc]] = []
         for item in self._st_pending:
             st_cycle, in_port, vc = item
             if st_cycle > cycle:
@@ -1093,7 +1097,7 @@ class ReferenceRouter(Router):
             vn, vc_index = port_winners[winner]
             vc = self.inputs[winner].vcs[vn][vc_index]
             out_vc = self.outputs[out_port].vcs[vn][vc.out_vc]
-            if out_port is not Port.LOCAL:
+            if out_port < self._local_base:
                 out_vc.credits -= 1
             vc.granted_pending = True
             self._st_pending.append((cycle + 1, winner, vc))

@@ -12,7 +12,6 @@ from collections import deque
 from typing import Deque, Optional, Tuple
 
 from repro.noc.flit import Flit
-from repro.noc.topology import Port
 
 
 class VcStage(enum.Enum):
@@ -52,7 +51,7 @@ class InputVc:
         #: from this VC when a fragmented circuit redirects an arrival).
         self.buffer: Deque[Tuple[Flit, int, int]] = deque()
         self.stage = VcStage.IDLE
-        self.route: Optional[Port] = None
+        self.route: Optional[int] = None
         self.out_vc: Optional[int] = None
         #: The granted OutputVc object itself; set alongside ``out_vc`` so
         #: the hot SA/ST stages skip the outputs[route].vcs[vn][out_vc]
@@ -102,7 +101,7 @@ class OutputVc:
         self.index = index
         self.credits = credits
         #: (input_port, vn, vc_index) of the packet owning this output VC.
-        self.allocated_to: Optional[Tuple[Port, int, int]] = None
+        self.allocated_to: Optional[Tuple[int, int, int]] = None
         #: phase-1 VC-allocation option id, ``(port << 8) | (vn << 4) | index``
         #: (the Router fills in the port bits once it knows them).
         self.code = (vn << 4) | index

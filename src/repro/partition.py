@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cpu.trace import AccessStream
 from repro.cpu.workloads import WorkloadProfile
-from repro.noc.topology import Mesh
+from repro.noc.topology import Topology, build_topology
 from repro.sim.config import SystemConfig
 from repro.sim.rng import DeterministicRng
 from repro.system import CmpSystem
@@ -32,7 +32,7 @@ _PARTITION_SHARED_STRIDE = 1 << 20
 
 @dataclass(frozen=True)
 class Partition:
-    """A rectangle of tiles running one workload."""
+    """A rectangle of the router grid running one workload."""
 
     workload: WorkloadProfile
     x0: int
@@ -40,25 +40,27 @@ class Partition:
     width: int
     height: int
 
-    def nodes(self, mesh: Mesh) -> List[int]:
-        out = []
+    def nodes(self, topo: Topology) -> List[int]:
+        """All nodes of the routers inside the rectangle, row-major."""
+        out: List[int] = []
         for y in range(self.y0, self.y0 + self.height):
             for x in range(self.x0, self.x0 + self.width):
-                out.append(mesh.node_at(x, y))
+                out.extend(topo.nodes_of(topo.router_at(x, y)))
         return out
 
 
-def quadrants(mesh: Mesh, workloads: Sequence[WorkloadProfile]
+def quadrants(topo: Topology, workloads: Sequence[WorkloadProfile]
               ) -> List[Partition]:
-    """Split a mesh into four equal quadrants running ``workloads``."""
+    """Split a topology's grid into four quadrants running ``workloads``."""
     if len(workloads) != 4:
         raise ValueError("quadrants() needs exactly four workloads")
-    half = mesh.side // 2
-    if half * 2 != mesh.side:
-        raise ValueError("mesh side must be even for quadrants")
-    corners = [(0, 0), (half, 0), (0, half), (half, half)]
+    width, height = topo.grid_shape
+    half_w, half_h = width // 2, height // 2
+    if half_w * 2 != width or half_h * 2 != height:
+        raise ValueError("router grid must be even-sided for quadrants")
+    corners = [(0, 0), (half_w, 0), (0, half_h), (half_w, half_h)]
     return [
-        Partition(workload, x, y, half, half)
+        Partition(workload, x, y, half_w, half_h)
         for workload, (x, y) in zip(workloads, corners)
     ]
 
@@ -72,21 +74,21 @@ def build_partitioned_system(config: SystemConfig,
     own L2 banks, so all request/reply/forward/invalidate traffic - and
     therefore every reactive circuit - stays inside the partition.
     """
-    mesh = Mesh(config.mesh_side)
+    topo = build_topology(config)
     line = config.cache.line_bytes
     owner_of_node: Dict[int, int] = {}
     for index, part in enumerate(partitions):
-        for node in part.nodes(mesh):
+        for node in part.nodes(topo):
             if node in owner_of_node:
                 raise ValueError(f"node {node} assigned to two partitions")
             owner_of_node[node] = index
-    if len(owner_of_node) != mesh.n_nodes:
-        missing = set(range(mesh.n_nodes)) - set(owner_of_node)
+    if len(owner_of_node) != topo.n_nodes:
+        missing = set(range(topo.n_nodes)) - set(owner_of_node)
         raise ValueError(f"nodes without a partition: {sorted(missing)}")
 
     rng = DeterministicRng(config.seed)
-    part_nodes: List[List[int]] = [p.nodes(mesh) for p in partitions]
-    streams: List[Optional[AccessStream]] = [None] * mesh.n_nodes
+    part_nodes: List[List[int]] = [p.nodes(topo) for p in partitions]
+    streams: List[Optional[AccessStream]] = [None] * topo.n_nodes
     for index, part in enumerate(partitions):
         shared_base = index * _PARTITION_SHARED_STRIDE
         part_rng = rng.stream(f"partition/{index}/{part.workload.name}")
@@ -113,10 +115,10 @@ def build_partitioned_system(config: SystemConfig,
 
         if block >= _COLD_BASE_LINE:
             core = (block - _COLD_BASE_LINE) // _PRIVATE_SPAN_LINES
-            return owners[min(core, mesh.n_nodes - 1)]
+            return owners[min(core, topo.n_nodes - 1)]
         if block >= _PRIVATE_BASE_LINE:
             core = (block - _PRIVATE_BASE_LINE) // _PRIVATE_SPAN_LINES
-            return owners[min(core, mesh.n_nodes - 1)]
+            return owners[min(core, topo.n_nodes - 1)]
         return min(block // _PARTITION_SHARED_STRIDE, len(partitions) - 1)
 
     system = CmpSystem(config, streams=streams, home_of=home_of)
@@ -160,43 +162,49 @@ def traffic_crosses_partitions(system: CmpSystem) -> Tuple[int, int]:
 # Shard geometry for the parallel engine (repro.sim.shard)
 #
 # Unlike the paper's partitions above, shards do not constrain traffic:
-# they split the mesh across worker processes and any cross-shard link
+# they split the chip across worker processes and any cross-shard link
 # becomes a window-buffered boundary channel.  Any exact cover of the
-# mesh is therefore *correct*; horizontal row bands minimise the number
-# of boundary links under XY/YX routing and keep the geometry trivial
-# to reason about (each shard is a contiguous run of rows).
+# topology is therefore *correct*; horizontal router-grid row bands
+# minimise the number of boundary links under XY/YX routing and keep the
+# geometry trivial to reason about (each shard is a contiguous run of
+# rows).  On a torus the wraparound links between the first and last
+# band simply become extra boundary channels - boundary_links() derives
+# them from the topology adjacency, not from band arithmetic.
 
 
-def shard_bands(mesh: Mesh, n_shards: int) -> List[List[int]]:
-    """Split ``mesh`` into ``n_shards`` horizontal row bands.
+def shard_bands(topo: Topology, n_shards: int) -> List[List[int]]:
+    """Split ``topo`` into ``n_shards`` horizontal router-row bands.
 
-    Bands are assigned top to bottom; on ragged splits (side not a
-    multiple of ``n_shards``) the first ``side % n_shards`` bands get one
-    extra row, so band heights differ by at most one.  Every node lands
-    in exactly one band and every band holds at least one full row.
+    Bands are assigned top to bottom; on ragged splits (grid height not
+    a multiple of ``n_shards``) the first ``height % n_shards`` bands
+    get one extra row, so band heights differ by at most one.  Every
+    node lands in exactly one band and every band holds at least one
+    full row of routers (all nodes of a router share its band).
     """
-    if not 1 <= n_shards <= mesh.side:
+    width, height = topo.grid_shape
+    if not 1 <= n_shards <= height:
         raise ValueError(
-            f"need 1 <= shards <= mesh side, got {n_shards} on a "
-            f"{mesh.side}x{mesh.side} mesh"
+            f"need 1 <= shards <= grid height, got {n_shards} on a "
+            f"{width}x{height} {topo.name}"
         )
-    base, extra = divmod(mesh.side, n_shards)
+    base, extra = divmod(height, n_shards)
     bands: List[List[int]] = []
     y = 0
     for index in range(n_shards):
-        height = base + (1 if index < extra else 0)
-        bands.append([mesh.node_at(x, yy)
-                      for yy in range(y, y + height)
-                      for x in range(mesh.side)])
-        y += height
-    assert y == mesh.side
+        band_height = base + (1 if index < extra else 0)
+        bands.append([node
+                      for yy in range(y, y + band_height)
+                      for x in range(width)
+                      for node in topo.nodes_of(topo.router_at(x, yy))])
+        y += band_height
+    assert y == height
     return bands
 
 
-def shard_assignment(mesh: Mesh, n_shards: int) -> List[int]:
+def shard_assignment(topo: Topology, n_shards: int) -> List[int]:
     """``assignment[node] -> shard index`` for the row-band split."""
-    assignment = [-1] * mesh.n_nodes
-    for index, nodes in enumerate(shard_bands(mesh, n_shards)):
+    assignment = [-1] * topo.n_nodes
+    for index, nodes in enumerate(shard_bands(topo, n_shards)):
         for node in nodes:
             if assignment[node] != -1:
                 raise ValueError(f"node {node} assigned to two shards")
@@ -207,22 +215,31 @@ def shard_assignment(mesh: Mesh, n_shards: int) -> List[int]:
     return assignment
 
 
-def boundary_links(mesh: Mesh, assignment: Sequence[int]
-                   ) -> List[Tuple[int, "Port", int]]:
-    """Directed mesh edges ``(node, port, neighbor)`` crossing shards.
+def router_shard(topo: Topology, assignment: Sequence[int],
+                 router: int) -> int:
+    """Shard of ``router`` under a per-node ``assignment``.
 
-    Enumerated in a canonical order (ascending node, then port value) so
-    every worker process derives the identical boundary-channel table
-    from the same assignment.
+    Row-band splits never divide a router's local nodes across shards,
+    so the router's shard is its first node's shard.
     """
-    from repro.noc.topology import Port
+    return assignment[topo.nodes_of(router)[0]]
 
-    edges: List[Tuple[int, Port, int]] = []
-    for node in range(mesh.n_nodes):
-        for port in mesh.router_ports(node):
-            if port is Port.LOCAL:
-                continue
-            neighbor = mesh.neighbor(node, port)
-            if assignment[node] != assignment[neighbor]:
-                edges.append((node, port, neighbor))
+
+def boundary_links(topo: Topology, assignment: Sequence[int]
+                   ) -> List[Tuple[int, int, int]]:
+    """Directed links ``(router, port, neighbor_router)`` crossing shards.
+
+    The edges are exactly the topology adjacency crossing the cut (on a
+    torus that includes the wraparound links), enumerated in a canonical
+    order (ascending router, then port value) so every worker process
+    derives the identical boundary-channel table from the same
+    assignment.  ``assignment`` maps *nodes* to shards; all local nodes
+    of a router share its shard.
+    """
+    edges: List[Tuple[int, int, int]] = []
+    for router in range(topo.n_routers):
+        shard = router_shard(topo, assignment, router)
+        for port, neighbor, _back in topo.neighbors(router):
+            if shard != router_shard(topo, assignment, neighbor):
+                edges.append((router, port, neighbor))
     return edges

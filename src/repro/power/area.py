@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.noc.topology import build_topology
 from repro.sim.config import CircuitMode, SystemConfig
 
 #: Relative cell areas (SRAM bit == 1).
@@ -85,12 +86,8 @@ def _timer_bits(config: SystemConfig) -> int:
     160-cycle memory latency saturate the counter through a coarse prescale
     and do not widen the per-entry timers.
     """
-    side = config.mesh_side
-    horizon = (
-        7 * (2 * (side - 1))
-        + 8 * config.circuit.slack_per_hop * (2 * (side - 1))
-        + 64
-    )
+    hops = build_topology(config).diameter
+    horizon = 7 * hops + 8 * config.circuit.slack_per_hop * hops + 64
     return math.ceil(math.log2(horizon))
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.noc.topology import build_topology
 from repro.power.area import router_area
 from repro.sim.config import SystemConfig
 from repro.sim.stats import Stats
@@ -84,10 +85,10 @@ def _dynamic_energy(stats: Stats) -> float:
 def network_energy(config: SystemConfig, stats: Stats, cycles: int
                    ) -> NetworkEnergyModel:
     """Total network energy of a run of ``cycles`` cycles."""
-    n_routers = config.n_cores
-    area = router_area(config).total
-    side = config.mesh_side
-    n_links = 2 * 2 * side * (side - 1) + 2 * n_routers  # mesh + NI links
+    topo = build_topology(config)
+    n_routers = topo.n_routers
+    area = router_area(config, ports=topo.max_radix).total
+    n_links = topo.n_links  # router-router links + per-node NI links
     static = cycles * (
         n_routers * area * LEAK_PER_AREA_CYCLE
         + n_links * LEAK_PER_LINK_CYCLE

@@ -9,7 +9,6 @@ exposed through :class:`Variant`, each of which expands to an orthogonal
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, Tuple
 
@@ -91,6 +90,11 @@ class NocConfig:
     #: pre-overhaul reference pipeline, which A/B equivalence tests use to
     #: prove the fast path bit-identical (stats, histograms, finish cycle).
     fastpath: bool = True
+    #: Network topology: "mesh" (default), "torus" or "cmesh".  The empty
+    #: string defers to the ``REPRO_TOPOLOGY`` environment variable;
+    #: :class:`SystemConfig` resolves it eagerly so pickled configs (shard
+    #: workers, checkpoints) are independent of the worker's environment.
+    topology: str = ""
     #: Per-hop cycles for a packet-switched head flit (4 router + 1 link).
     @property
     def packet_hop_cycles(self) -> int:
@@ -255,15 +259,24 @@ class SystemConfig:
     sim: SimConfig = field(default_factory=SimConfig)
 
     def __post_init__(self) -> None:
-        side = math.isqrt(self.n_cores)
-        if side * side != self.n_cores:
-            raise ValueError("n_cores must be a perfect square (mesh)")
+        # Resolve the topology eagerly (consulting REPRO_TOPOLOGY once)
+        # so pickled configs reaching shard workers or checkpoints do not
+        # depend on the receiving process's environment.  Imported here:
+        # repro.noc pulls in modules that import this one at load time.
+        from repro.noc.topology import resolve_topology, topology_grid_side
+
+        topology = resolve_topology(self.noc.topology)
+        if topology != self.noc.topology:
+            object.__setattr__(
+                self, "noc", replace(self.noc, topology=topology))
+        side = topology_grid_side(topology, self.n_cores)
         if self.cache.num_memory_controllers > self.n_cores:
             raise ValueError("more memory controllers than tiles")
         if self.sim.shards > side:
             raise ValueError(
-                f"sim.shards={self.sim.shards} exceeds the mesh side {side} "
-                "(shards are horizontal row bands of >= 1 row)"
+                f"sim.shards={self.sim.shards} exceeds the router-grid "
+                f"height {side} (shards are horizontal row bands of "
+                ">= 1 row)"
             )
         # Fragmented circuits grow the reply VN to 3 VCs; enforce coherence
         # between the two sub-configs here so callers cannot desynchronise.
@@ -275,7 +288,10 @@ class SystemConfig:
 
     @property
     def mesh_side(self) -> int:
-        return math.isqrt(self.n_cores)
+        """Router-grid side (the name predates non-mesh topologies)."""
+        from repro.noc.topology import topology_grid_side
+
+        return topology_grid_side(self.noc.topology, self.n_cores)
 
     def with_variant(self, variant: Variant) -> "SystemConfig":
         """Return a copy configured for the given paper variant."""

@@ -159,8 +159,9 @@ def resolve_shards(config) -> int:
             )
     if shards > config.mesh_side:
         raise ValueError(
-            f"{shards} shards exceed the mesh side {config.mesh_side} "
-            "(shards are horizontal row bands of >= 1 row)"
+            f"{shards} shards exceed the router-grid height "
+            f"{config.mesh_side} (shards are horizontal row bands of "
+            ">= 1 row)"
         )
     return shards
 
@@ -411,29 +412,31 @@ class _ShardWorker:
 
         # Boundary channel table, identical in every worker: channel
         # 2i / 2i+1 are the flit / credit links of canonical edge i.
-        # For a directed edge (n, port, m): flits flow on
+        # For a directed edge (n, port, m) between routers: flits flow on
         # routers[n].out_flit[port] (owner: shard(n)) and their credits
         # return on routers[n].in_credit[port] (owner: shard(m)).
-        from repro.partition import boundary_links
+        from repro.partition import boundary_links, router_shard
 
+        topo = self.net.topo
         routers = self.net.routers
         #: (channel, link, destination shard, is_flit) we harvest from.
         self._out_channels: List[Tuple[int, object, int, bool]] = []
         #: channel -> (link, is_flit) we append into.
         self._in_channels: Dict[int, Tuple[object, bool]] = {}
-        for i, (n, port, m) in enumerate(boundary_links(self.net.mesh,
-                                                        assignment)):
+        for i, (n, port, m) in enumerate(boundary_links(topo, assignment)):
             flit_chan, credit_chan = 2 * i, 2 * i + 1
             flit_link = routers[n].out_flit[port]
             credit_link = routers[n].in_credit[port]
-            if assignment[n] == self.index:
+            shard_n = router_shard(topo, assignment, n)
+            shard_m = router_shard(topo, assignment, m)
+            if shard_n == self.index:
                 self._out_channels.append(
-                    (flit_chan, flit_link, assignment[m], True))
+                    (flit_chan, flit_link, shard_m, True))
                 self._in_channels[credit_chan] = (credit_link, False)
-            if assignment[m] == self.index:
+            if shard_m == self.index:
                 self._in_channels[flit_chan] = (flit_link, True)
                 self._out_channels.append(
-                    (credit_chan, credit_link, assignment[n], False))
+                    (credit_chan, credit_link, shard_n, False))
 
         # Recovery-snapshot schedule: a pure function of the (global)
         # barrier cycle, so every shard snapshots at identical barrier
@@ -1087,13 +1090,13 @@ def run_sharded(config, workload: str, warmup_instructions: int,
     newest snapshot seq common to all shards in ``checkpoint_dir``.
     Recovered and resumed runs stay bit-identical.
     """
-    from repro.noc.topology import Mesh
+    from repro.noc.topology import build_topology
     from repro.partition import shard_assignment
 
     if n_shards is None:
         n_shards = resolve_shards(config)
-    mesh = Mesh(config.mesh_side)
-    assignment = shard_assignment(mesh, n_shards)
+    topo = build_topology(config)
+    assignment = shard_assignment(topo, n_shards)
     if check is None:
         check = os.environ.get("REPRO_CHECK", "") not in ("", "0")
     timeout = resolve_shard_timeout(config, timeout)

@@ -45,7 +45,8 @@ def attach_tracer(net: "Network",
 
     def default(cycle, router, out_port, flit):
         events.append(
-            (cycle, router.node, out_port.name, flit.msg.kind, flit.msg.uid)
+            (cycle, router.node, router.mesh.port_name(out_port),
+             flit.msg.kind, flit.msg.uid)
         )
 
     hook = callback if callback is not None else default
@@ -70,13 +71,13 @@ def detach_tracer(net: "Network") -> None:
 
 def utilization_heatmap(net: "Network", width: int = 6) -> str:
     """ASCII grid of per-router crossbar traversal counts."""
-    side = net.mesh.side
+    grid_w, grid_h = net.topo.grid_shape
     peak = max((r.forwarded for r in net.routers), default=0) or 1
     lines = [f"crossbar traversals per router (peak {peak})"]
-    for y in range(side):
+    for y in range(grid_h):
         cells = []
-        for x in range(side):
-            router = net.routers[net.mesh.node_at(x, y)]
+        for x in range(grid_w):
+            router = net.routers[net.topo.router_at(x, y)]
             cells.append(str(router.forwarded).rjust(width))
         lines.append("".join(cells))
     return "\n".join(lines)

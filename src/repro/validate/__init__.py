@@ -17,6 +17,8 @@ from repro.validate.campaign import (
     FAULT_VARIANTS,
     CleanReport,
     FaultOutcome,
+    TopologyReport,
+    check_topology,
     measure_overhead,
     run_campaign,
     run_clean,
@@ -50,6 +52,8 @@ __all__ = [
     "FaultInjector",
     "FaultKind",
     "FaultOutcome",
+    "TopologyReport",
+    "check_topology",
     "InvariantMonitor",
     "InvariantViolation",
     "build_wait_graph",

@@ -274,6 +274,105 @@ def run_campaign(
     ]
 
 
+@dataclass
+class TopologyReport:
+    """Static self-check of one registered topology (zero problems
+    expected): port/opposite symmetry, neighbor reciprocity, node/router
+    embedding consistency, route-table reachability of every (src, dst)
+    pair, and the request/reply same-routers invariant."""
+
+    topology: str
+    n_cores: int
+    n_routers: int
+    checks_run: int
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def _walk_route(topo, vn: int, src: int, dst: int, request_xy: bool):
+    """Follow the compiled route table; return (router path, problem)."""
+    from repro.noc.routing import route_for_vn
+
+    here = topo.router_of(src)
+    last = topo.router_of(dst)
+    path = [here]
+    seen = {here}
+    while here != last:
+        port = route_for_vn(topo, vn, here, dst, request_xy)
+        if port >= topo.local_base:
+            return path, f"vn{vn} {src}->{dst} ejects at router {here}"
+        here = topo.neighbor(here, port)
+        if here in seen:
+            return path, f"vn{vn} {src}->{dst} revisits router {here}"
+        seen.add(here)
+        path.append(here)
+        if len(path) > topo.diameter + 1:
+            return path, (f"vn{vn} {src}->{dst} exceeds the diameter "
+                          f"bound {topo.diameter}")
+    return path, None
+
+
+def check_topology(name: str, n_cores: int = 16,
+                   request_xy: bool = True) -> TopologyReport:
+    """Statically verify one registered topology and its route tables."""
+    from repro.noc.topology import make_topology
+
+    topo = make_topology(name, n_cores)
+    problems: List[str] = []
+    checks = 0
+
+    # Port symmetry and neighbor reciprocity.
+    for router in range(topo.n_routers):
+        for port, nbr, back in topo.neighbors(router):
+            checks += 1
+            if topo.opposite(back) != port:
+                problems.append(
+                    f"router {router}: opposite({back}) != {port}")
+            if topo.neighbor(nbr, back) != router:
+                problems.append(
+                    f"router {router} port {port}: neighbor {nbr} does "
+                    f"not link back through port {back}")
+
+    # Node <-> router embedding consistency.
+    for node in range(topo.n_nodes):
+        checks += 1
+        router = topo.router_of(node)
+        if node not in topo.nodes_of(router):
+            problems.append(f"node {node} missing from nodes_of({router})")
+        local = topo.local_port(node)
+        if not topo.local_base <= local < topo.max_radix:
+            problems.append(f"node {node}: local port {local} outside "
+                            f"[{topo.local_base}, {topo.max_radix})")
+
+    # Route-table reachability + the paper's same-routers invariant.
+    for src in range(topo.n_nodes):
+        for dst in range(topo.n_nodes):
+            checks += 1
+            request, problem = _walk_route(topo, 0, src, dst, request_xy)
+            if problem:
+                problems.append(problem)
+                continue
+            reply, problem = _walk_route(topo, 1, dst, src, request_xy)
+            if problem:
+                problems.append(problem)
+                continue
+            if reply != list(reversed(request)):
+                problems.append(
+                    f"{src}->{dst}: reply path is not the reversed "
+                    f"request path ({request} vs {reply})")
+
+    return TopologyReport(
+        topology=topo.name,
+        n_cores=n_cores,
+        n_routers=topo.n_routers,
+        checks_run=checks,
+        problems=problems,
+    )
+
+
 def run_system_check(
     variant: Variant = Variant.COMPLETE_NOACK,
     workload: str = "canneal",

@@ -18,7 +18,6 @@ from collections import deque
 from typing import Optional
 
 from repro.circuits.table import CircuitEntry
-from repro.noc.topology import Port
 from repro.sim.rng import DeterministicRng
 
 
@@ -99,7 +98,8 @@ class FaultInjector:
             return None
         _created, node, port, key = best
         self.net.routers[node].inputs[port].circuit_table.remove(key)
-        return {"node": node, "port": port.name, "key": list(key)}
+        return {"node": node, "port": self.net.topo.port_name(port),
+                "key": list(key)}
 
     def _apply_dup_reservation(self, cycle: int) -> Optional[dict]:
         best = self._newest_reserved_hop()
@@ -110,7 +110,7 @@ class FaultInjector:
         entry = router.inputs[port].circuit_table.entries[key]
         others = [
             p for p in router.ports
-            if p is not port and router.inputs[p].circuit_table is not None
+            if p != port and router.inputs[p].circuit_table is not None
         ]
         if not others:
             return None
@@ -122,7 +122,8 @@ class FaultInjector:
             fwd_reserved=entry.fwd_reserved, fwd_vc=entry.fwd_vc,
         )
         router.inputs[target].circuit_table.entries[key] = clone
-        return {"node": node, "port": port.name, "dup_port": target.name,
+        return {"node": node, "port": self.net.topo.port_name(port),
+                "dup_port": self.net.topo.port_name(target),
                 "key": list(key)}
 
     def _apply_leak_credit(self, cycle: int) -> Optional[dict]:
@@ -130,7 +131,8 @@ class FaultInjector:
         candidates = []
         for router in self.net.routers:
             for port in router.ports:
-                if port is Port.LOCAL or router.out_flit[port] is None:
+                if port >= self.net.topo.local_base \
+                        or router.out_flit[port] is None:
                     continue
                 for vn_row in router.outputs[port].vcs:
                     for out_vc in vn_row:
@@ -142,7 +144,8 @@ class FaultInjector:
             return None
         router, port, out_vc = candidates[self.rng.randrange(len(candidates))]
         out_vc.credits -= 1
-        return {"node": router.node, "port": port.name,
+        return {"node": router.node,
+                "port": self.net.topo.port_name(port),
                 "vn": out_vc.vn, "vc": out_vc.index}
 
     def _apply_corrupt_window(self, cycle: int) -> Optional[dict]:
@@ -163,29 +166,30 @@ class FaultInjector:
         # structurally impossible.
         entry.window_end = entry.window_end + 50_000
         entry.window_start = entry.window_end + 97
-        return {"node": node, "port": port.name, "key": list(entry.key),
+        return {"node": node, "port": self.net.topo.port_name(port),
+                "key": list(entry.key),
                 "window": [entry.window_start, entry.window_end]}
 
     def _apply_stuck_port(self, cycle: int) -> Optional[dict]:
         # A central router sees traffic from every quadrant, so a stalled
         # head flit is guaranteed under any sustained workload.
-        mesh = self.net.mesh
-        node = mesh.node_at(mesh.side // 2, mesh.side // 2)
+        topo = self.net.topo
+        node = topo.central_router()
         router = self.net.routers[node]
         ports = [p for p in router.ports
-                 if p is not Port.LOCAL and router.out_flit[p] is not None]
+                 if p < topo.local_base and router.out_flit[p] is not None]
         if not ports:
             return None
         stuck = ports[self.rng.randrange(len(ports))]
         original = router.claim_path
 
         def stuck_claim(in_port, out_port, _orig=original, _stuck=stuck):
-            if out_port is _stuck:
+            if out_port == _stuck:
                 return False
             return _orig(in_port, out_port)
 
         router.claim_path = stuck_claim
-        return {"node": node, "port": stuck.name}
+        return {"node": node, "port": topo.port_name(stuck)}
 
     def _apply_delay_link(self, cycle: int) -> Optional[dict]:
         loaded = [(label, link) for label, link in self.net.flit_links()

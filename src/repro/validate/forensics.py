@@ -22,15 +22,14 @@ import json
 import os
 from typing import Dict, List, Optional
 
-from repro.noc.topology import Port, opposite
 from repro.noc.vc import VcStage
 
 #: Cap on per-section list sizes so a pathological dump stays readable.
 MAX_ITEMS = 64
 
 
-def _vc_id(node: int, port: Port, vn: int, vc: int) -> str:
-    return f"router{node}.{port.name}.vn{vn}.vc{vc}"
+def _vc_id(net, node: int, port: int, vn: int, vc: int) -> str:
+    return f"router{node}.{net.topo.port_name(port)}.vn{vn}.vc{vc}"
 
 
 def build_wait_graph(net) -> List[Dict[str, str]]:
@@ -41,26 +40,28 @@ def build_wait_graph(net) -> List[Dict[str, str]]:
     currently owns the output VCs it could be granted.
     """
     edges: List[Dict[str, str]] = []
+    local_base = net.topo.local_base
     for router in net.routers:
         for port, unit in router._input_units:
             for vn_row in unit.vcs:
                 for vc in vn_row:
                     if not vc.buffer:
                         continue
-                    src = _vc_id(router.node, port, vc.vn, vc.index)
+                    src = _vc_id(net, router.node, port, vc.vn, vc.index)
                     if (
                         vc.stage is VcStage.ACTIVE
                         and vc.route is not None
-                        and vc.route is not Port.LOCAL
+                        and vc.route < local_base
                         and vc.out_vc is not None
                         and not vc.granted_pending
                     ):
                         out_vc = router.outputs[vc.route].vcs[vc.vn][vc.out_vc]
                         if out_vc.credits <= 0:
-                            down = net.mesh.neighbor(router.node, vc.route)
+                            down = net.topo.neighbor(router.node, vc.route)
                             edges.append({
                                 "src": src,
-                                "dst": _vc_id(down, opposite(vc.route),
+                                "dst": _vc_id(net, down,
+                                              net.topo.opposite(vc.route),
                                               vc.vn, vc.out_vc),
                                 "reason": "no downstream buffer credits",
                             })
@@ -73,9 +74,9 @@ def build_wait_graph(net) -> List[Dict[str, str]]:
                             if (
                                 isinstance(owner, tuple)
                                 and len(owner) == 3
-                                and isinstance(owner[0], Port)
+                                and isinstance(owner[0], int)
                             ):
-                                dst = _vc_id(router.node, owner[0],
+                                dst = _vc_id(net, router.node, owner[0],
                                              owner[1], owner[2])
                             else:
                                 # e.g. fragmented gap-hop ownership tokens
@@ -84,7 +85,9 @@ def build_wait_graph(net) -> List[Dict[str, str]]:
                                 "src": src,
                                 "dst": dst,
                                 "reason": (
-                                    f"output {vc.route.name} vn{vc.vn} "
+                                    f"output "
+                                    f"{net.topo.port_name(vc.route)} "
+                                    f"vn{vc.vn} "
                                     f"vc{index} allocated elsewhere"
                                 ),
                             })
@@ -135,10 +138,12 @@ def blocked_vcs(net, cycle: Optional[int] = None) -> List[dict]:
                         continue
                     head, arrival, _credit_vc = vc.buffer[0]
                     rows.append({
-                        "vc": _vc_id(router.node, port, vc.vn, vc.index),
+                        "vc": _vc_id(net, router.node, port, vc.vn,
+                                     vc.index),
                         "stage": str(vc.stage),
                         "occupancy": len(vc.buffer),
-                        "route": None if vc.route is None else vc.route.name,
+                        "route": (None if vc.route is None
+                                  else net.topo.port_name(vc.route)),
                         "out_vc": vc.out_vc,
                         "head_kind": head.msg.kind,
                         "head_uid": head.msg.uid,

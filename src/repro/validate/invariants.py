@@ -52,7 +52,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.noc.topology import Port, opposite
 from repro.sim.kernel import SimulationError
 
 #: Check families in evaluation order.  Order matters for fault
@@ -230,6 +229,10 @@ class InvariantMonitor:
         self.system = system
         self.local = frozenset(local_nodes) if local_nodes is not None \
             else None
+        #: Routers owned by this shard (node set mapped through the
+        #: topology's node->router embedding); None = all.
+        self.local_routers = None if self.local is None else frozenset(
+            net.topo.router_of(n) for n in self.local)
         self.interval = interval
         self.stall_threshold = stall_threshold
         self.forensics = forensics
@@ -350,41 +353,45 @@ class InvariantMonitor:
     def check_credit_conservation(self, cycle: int) -> None:
         net = self.net
         local = self.local
+        local_routers = self.local_routers
+        topo = net.topo
+        local_base = topo.local_base
         for router in net.routers:
-            if local is not None and router.node not in local:
+            if local_routers is not None and router.node not in local_routers:
                 continue  # books span processes; audited by the owner shard
-            granted: Dict[Tuple[Port, int, int], int] = {}
+            granted: Dict[Tuple[int, int, int], int] = {}
             for _st_cycle, _in_port, vc in router._st_pending:
-                if vc.route is None or vc.route is Port.LOCAL:
+                if vc.route is None or vc.route >= local_base:
                     continue
                 if vc.out_vc is None:
                     continue
                 key = (vc.route, vc.vn, vc.out_vc)
                 granted[key] = granted.get(key, 0) + 1
             for port in router.ports:
-                if port is Port.LOCAL:
+                if port >= local_base:
                     continue
                 down = router.out_flit[port]
                 up = router.in_credit[port]
                 if down is None or up is None:
                     continue
-                neighbor_node = net.mesh.neighbor(router.node, port)
-                if local is not None and neighbor_node not in local:
+                neighbor_router = topo.neighbor(router.node, port)
+                if local_routers is not None \
+                        and neighbor_router not in local_routers:
                     # Boundary edge: upstream credits live here, downstream
                     # occupancy in another process - neither side can sum
                     # the books alone.
                     continue
-                neighbor = net.routers[neighbor_node]
-                in_unit = neighbor.inputs[opposite(port)]
+                neighbor = net.routers[neighbor_router]
+                in_unit = neighbor.inputs[topo.opposite(port)]
                 out_unit = router.outputs[port]
                 edge_granted = {
                     (vn, vc): count
                     for (p, vn, vc), count in granted.items()
-                    if p is port
+                    if p == port
                 }
                 self._check_edge(
                     cycle,
-                    f"router {router.node} {port.name} -> "
+                    f"router {router.node} {topo.port_name(port)} -> "
                     f"router {neighbor.node}",
                     lambda vn, vc, _u=out_unit: _u.vcs[vn][vc].credits,
                     down, up, in_unit, edge_granted,
@@ -394,10 +401,12 @@ class InvariantMonitor:
                 continue
             if ni.to_router is None or ni.credit_in is None:
                 continue
-            in_unit = net.routers[ni.node].inputs[Port.LOCAL]
+            rid = topo.router_of(ni.node)
+            lport = topo.local_port(ni.node)
+            in_unit = net.routers[rid].inputs[lport]
             self._check_edge(
                 cycle,
-                f"ni {ni.node} -> router {ni.node} LOCAL",
+                f"ni {ni.node} -> router {rid} {topo.port_name(lport)}",
                 lambda vn, vc, _ni=ni: _ni.credits[vn][vc],
                 ni.to_router, ni.credit_in, in_unit, {},
             )
@@ -452,7 +461,7 @@ class InvariantMonitor:
         accounted = accounted_circuit_keys(net)
         complete = self._policy_name == "complete"
         # Map each origin to the (node, in_port) positions it reserved.
-        origin_hops: Dict[object, Dict[Tuple[int, Port], object]] = {}
+        origin_hops: Dict[object, Dict[Tuple[int, int], object]] = {}
         for ni in net.interfaces:
             for key, origin in ni.origin_table.items():
                 walk = getattr(origin, "walk", None)
@@ -469,7 +478,8 @@ class InvariantMonitor:
                 }
                 origin_hops[key] = hops
                 for (node, in_port), hop in hops.items():
-                    if self.local is not None and node not in self.local:
+                    if self.local_routers is not None \
+                            and node not in self.local_routers:
                         continue  # hop reserved at a router in another shard
                     if hop.window_end is not None and hop.window_end < cycle:
                         continue  # expired windows self-clean lazily
@@ -478,7 +488,8 @@ class InvariantMonitor:
                     if entry is None:
                         raise self._fail(
                             "circuit_lifecycle", cycle,
-                            f"router {node} {in_port.name}",
+                            f"router {node} "
+                            f"{net.topo.port_name(in_port)}",
                             f"origin at node {ni.node} holds a reserved hop "
                             f"for key {key} but the router has no matching "
                             f"entry (dangling reservation)",
@@ -489,7 +500,8 @@ class InvariantMonitor:
                     ):
                         raise self._fail(
                             "circuit_lifecycle", cycle,
-                            f"router {node} {in_port.name}",
+                            f"router {node} "
+                            f"{net.topo.port_name(in_port)}",
                             f"entry window "
                             f"[{entry.window_start}, {entry.window_end}] "
                             f"disagrees with the origin walk's "
@@ -498,7 +510,7 @@ class InvariantMonitor:
                             {"key": list(key), "kind": "window_mismatch"},
                         )
         for router in net.routers:
-            sharing: List[Tuple[Port, object]] = []
+            sharing: List[Tuple[int, object]] = []
             for port, unit in router._input_units:
                 table = unit.circuit_table
                 if table is None:
@@ -506,7 +518,7 @@ class InvariantMonitor:
                 if len(table.entries) > table.capacity:
                     raise self._fail(
                         "circuit_lifecycle", cycle,
-                        f"router {router.node} {port.name}",
+                        f"router {router.node} {net.topo.port_name(port)}",
                         f"{len(table.entries)} entries exceed the table "
                         f"capacity {table.capacity}",
                         {"kind": "capacity"},
@@ -516,7 +528,7 @@ class InvariantMonitor:
                         if entry.window_start > entry.window_end:
                             raise self._fail(
                                 "circuit_lifecycle", cycle,
-                                f"router {router.node} {port.name}",
+                                f"router {router.node} {net.topo.port_name(port)}",
                                 f"entry for key {key} has an inverted "
                                 f"window [{entry.window_start}, "
                                 f"{entry.window_end}]",
@@ -531,7 +543,7 @@ class InvariantMonitor:
                     if self.local is None and key not in accounted:
                         raise self._fail(
                             "circuit_lifecycle", cycle,
-                            f"router {router.node} {port.name}",
+                            f"router {router.node} {net.topo.port_name(port)}",
                             f"entry for key {key} is orphaned: no origin, "
                             f"in-flight message or pending undo references "
                             f"it",
@@ -541,7 +553,7 @@ class InvariantMonitor:
                     if hops is not None and (router.node, port) not in hops:
                         raise self._fail(
                             "circuit_lifecycle", cycle,
-                            f"router {router.node} {port.name}",
+                            f"router {router.node} {net.topo.port_name(port)}",
                             f"entry for key {key} sits at a position its "
                             f"origin walk never reserved",
                             {"key": list(key), "kind": "misplaced"},
@@ -552,9 +564,9 @@ class InvariantMonitor:
             # mirror of CompletePolicy._no_conflict.
             for i, (port_a, entry_a) in enumerate(sharing):
                 for port_b, entry_b in sharing[i + 1:]:
-                    if port_a is port_b:
+                    if port_a == port_b:
                         continue
-                    if entry_a.out_port is not entry_b.out_port:
+                    if entry_a.out_port != entry_b.out_port:
                         continue
                     if entry_a.timed and entry_b.timed:
                         if not entry_a.overlaps(
@@ -568,9 +580,9 @@ class InvariantMonitor:
                         "circuit_lifecycle", cycle,
                         f"router {router.node}",
                         f"complete circuits {entry_a.key} "
-                        f"({port_a.name}) and {entry_b.key} "
-                        f"({port_b.name}) share output "
-                        f"{entry_a.out_port.name} ({kind})",
+                        f"({net.topo.port_name(port_a)}) and {entry_b.key} "
+                        f"({net.topo.port_name(port_b)}) share output "
+                        f"{net.topo.port_name(entry_a.out_port)} ({kind})",
                         {
                             "kind": kind,
                             "keys": [list(entry_a.key), list(entry_b.key)],
@@ -720,7 +732,8 @@ class InvariantMonitor:
                             if vc.stage is VcStage.IDLE:
                                 continue
                             where = (
-                                f"{port.name} vn{vc.vn} vc{vc.index} "
+                                f"{self.net.topo.port_name(port)} "
+                                f"vn{vc.vn} vc{vc.index} "
                                 f"(stage {vc.stage.value})"
                             )
                             if vc.ready_cycle > cycle + 1:
@@ -857,7 +870,8 @@ class InvariantMonitor:
                             flit = vc.buffer[0][0]
                             raise self._fail(
                                 "forward_progress", cycle,
-                                f"router {router.node} {port.name} "
+                                f"router {router.node} "
+                                f"{self.net.topo.port_name(port)} "
                                 f"vn{vc.vn} vc{vc.index}",
                                 f"head flit of {flit.msg.kind} "
                                 f"uid={flit.msg.uid} stalled for {age} "

@@ -45,7 +45,7 @@ def test_vc_stage_progression():
     router.tick(2)
     vc = router.vc(Port.LOCAL, 0, 0)
     assert vc.stage is VcStage.VA
-    assert vc.route is Port.EAST
+    assert vc.route == Port.EAST  # route tables hold plain int ports
     router.tick(3)
     assert vc.stage is VcStage.ACTIVE
     assert vc.out_vc is not None
