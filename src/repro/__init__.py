@@ -30,7 +30,7 @@ from repro.sim.config import (
     Variant,
     variant_config,
 )
-from repro.harness.experiment import compare_variants
+from repro.api import compare_variants, run_matrix
 from repro.partition import (
     Partition,
     build_partitioned_system,
@@ -61,6 +61,7 @@ __all__ = [
     "WorkloadProfile",
     "build_system",
     "compare_variants",
+    "run_matrix",
     "outcome_fractions",
     "variant_config",
     "workload_by_name",

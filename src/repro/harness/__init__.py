@@ -1,6 +1,11 @@
-"""Experiment harness reproducing every table and figure of the paper."""
+"""Experiment harness reproducing every table and figure of the paper.
 
-from repro.harness.cache import ResultCache
+``run_matrix`` / ``compare_variants`` here are the deprecated legacy
+spellings (they forward to :mod:`repro.api`, the canonical home, with a
+:class:`DeprecationWarning`).
+"""
+
+from repro.harness.cache import ResultCache, ShardedCache, open_cache
 from repro.harness.experiment import (
     RunResult,
     RunSpec,
@@ -22,6 +27,8 @@ from repro.harness.parallel import (
 __all__ = [
     "ParallelError",
     "ResultCache",
+    "ShardedCache",
+    "open_cache",
     "RunResult",
     "RunSpec",
     "RunTimeoutError",

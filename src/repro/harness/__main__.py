@@ -19,8 +19,14 @@ Usage::
                                               # cmesh comparison figure)
     python -m repro.harness check --topology  # static topology self-check
                                               # (adjacency + route tables)
+    python -m repro.harness serve --socket /tmp/repro.sock --workers 4
+                                              # job daemon (repro.service);
+                                              # point clients at it with
+                                              # REPRO_SERVICE=/tmp/repro.sock
+    python -m repro.harness env               # print the effective resolved
+                                              # configuration (value + source)
 
-Environment:
+Environment (resolved through repro.config; `env` shows the result):
     REPRO_SCALE      simulation-length multiplier (default 1.0)
     REPRO_TOPOLOGY   network topology: mesh (default), torus or cmesh
     REPRO_FULL       1 = sweep all 22 workloads (default: 6-workload subset)
@@ -36,6 +42,10 @@ Environment:
     REPRO_SHARD_TIMEOUT   seconds before a silent shard worker is declared
                           dead and respawned (default 1200)
     REPRO_SHARD_RESPAWNS  respawn budget per shard worker (default 2)
+    REPRO_SERVICE    job-daemon address (socket path or host:port); when
+                     set, sweeps run through the shared daemon fleet
+    REPRO_SERVICE_WORKERS daemon worker-fleet size (0 = one per CPU core)
+    REPRO_CACHE_SHARDS    shard count when creating a sharded result store
 """
 
 from __future__ import annotations
@@ -316,6 +326,47 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the job daemon (:mod:`repro.service`) in the foreground."""
+    import logging
+
+    from repro.service import Daemon
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    address = args.socket or os.environ.get("REPRO_SERVICE") \
+        or os.path.join("out", "repro.sock")
+    directory = os.path.dirname(address)
+    if directory and ":" not in address:
+        os.makedirs(directory, exist_ok=True)
+    daemon = Daemon(address, workers=args.workers)
+    print(f"job daemon on {address} ({daemon.n_workers} workers); "
+          f"clients: REPRO_SERVICE={address}  (ctrl-C to stop)", flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        daemon.shutdown()
+    return 0
+
+
+def cmd_env(args) -> int:
+    """Print the effective resolved configuration, one row per setting."""
+    from repro import config as repro_config
+
+    rows = repro_config.describe()
+    name_w = max(len(row[0]) for row in rows)
+    env_w = max(len(row[1]) for row in rows)
+    value_w = max(len(row[2]) for row in rows)
+    print("Effective configuration (precedence: kwargs > environment "
+          "> defaults)")
+    for name, env, value, source in rows:
+        print(f"  {name:<{name_w}s}  {env:<{env_w}s}  "
+              f"{value:<{value_w}s}  [{source}]")
+    return 0
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "table5": cmd_table5,
@@ -352,7 +403,17 @@ def _prefetch(names, args, jobs: int) -> None:
         for variant in variants
         for workload in _workloads(args)
     ]
-    if len(specs) > 1:
+    if len(specs) <= 1:
+        return
+    from repro import api
+
+    if api.service_address():
+        # Daemon mode: the shared fleet computes (and dedups) the batch;
+        # results() seeds the memo for the serial rendering below.
+        print(f"submitting {len(specs)} spec(s) to the job daemon at "
+              f"{api.service_address()}", file=sys.stderr, flush=True)
+        api.results(api.submit(specs))
+    else:
         parallel.run_specs(
             specs, jobs=jobs,
             echo=lambda msg: print(msg, file=sys.stderr, flush=True),
@@ -367,7 +428,8 @@ def main(argv=None) -> int:
     parser.add_argument("what", nargs="?", default=None,
                         choices=list(COMMANDS) + ["all", "check", "inject",
                                                   "chaos", "trace",
-                                                  "profile", "topology"])
+                                                  "profile", "topology",
+                                                  "serve", "env"])
     parser.add_argument("--cores", type=int, default=16,
                         help="chip size (16 or 64; default 16)")
     parser.add_argument("--seed", type=int, default=1)
@@ -405,7 +467,17 @@ def main(argv=None) -> int:
                         const="all", default=None,
                         help="with check: statically verify the named "
                              "topology (default: all registered ones)")
+    parser.add_argument("--socket", default=None,
+                        help="serve: daemon address (socket path or "
+                             "host:port; default out/repro.sock)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="serve: worker-fleet size (default: "
+                             "REPRO_SERVICE_WORKERS or one per CPU core)")
     args = parser.parse_args(argv)
+    if args.what == "env":
+        return cmd_env(args)
+    if args.what == "serve":
+        return cmd_serve(args)
     try:
         jobs = parallel.resolve_jobs(args.jobs)
     except ValueError as exc:

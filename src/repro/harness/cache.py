@@ -1,9 +1,20 @@
-"""Crash-safe, multiprocess-shared result cache (``REPRO_CACHE``).
+"""Crash-safe, multiprocess-shared result store (``REPRO_CACHE``).
 
-The cache is a single JSON file mapping spec keys to serialised
-:class:`~repro.harness.experiment.RunResult` dicts.  Several processes --
-parallel workers, concurrent pytest invocations sharing ``REPRO_CACHE`` --
-read and write it at once, so the layer guarantees:
+Two on-disk backends share one interface (``load`` / ``load_all`` /
+``store`` / ``store_many``):
+
+* :class:`ResultCache` -- the legacy layout: a single JSON file mapping
+  spec keys to serialised :class:`~repro.harness.experiment.RunResult`
+  dicts;
+* :class:`ShardedCache` -- a directory of ``shard-NNN.json`` files, each
+  an independent :class:`ResultCache` with its own lock file.  Entries
+  are routed by their spec-key *prefix* (``n_cores/variant/workload``),
+  so hundreds of concurrent writers -- the service daemon's worker
+  fleet, parallel sweeps, concurrent pytest invocations -- contend only
+  when writing the same sweep cell instead of all serialising on one
+  global file.
+
+Both backends guarantee, per file:
 
 * **atomic publication**: writers dump to a private temp file and
   ``os.replace`` it over the cache, so readers always see either the old
@@ -19,6 +30,15 @@ read and write it at once, so the layer guarantees:
   from a clean file rather than re-quarantining forever.  Only the
   newest ``QUARANTINE_KEEP`` quarantined files are retained.
 
+:func:`open_cache` picks the backend (a directory or trailing separator
+means sharded; ``REPRO_CACHE_SHARDS > 0`` requests sharding explicitly)
+and performs the **one-shot migration** of a legacy single-file cache
+into the sharded layout.  Migration never drops data: entries whose spec
+keys no longer parse under the current key schema (see
+:func:`parse_spec_key`) are quarantined to ``quarantined-keys.*.json``
+inside the new store -- pruned to the newest :data:`QUARANTINE_KEEP`
+files like every other quarantine -- instead of being discarded.
+
 Files written by pre-versioning releases (a bare ``{key: entry}`` dict)
 are still read, and upgraded to the current schema on the next write.
 """
@@ -31,7 +51,8 @@ import json
 import logging
 import os
 import time
-from typing import Dict, Optional
+import zlib
+from typing import Dict, Optional, Union
 
 logger = logging.getLogger("repro.harness.cache")
 
@@ -41,6 +62,14 @@ SCHEMA_VERSION = 1
 #: Quarantined ``.corrupt.*`` siblings kept per cache file; older ones
 #: are pruned so a flaky disk cannot grow the directory without bound.
 QUARANTINE_KEEP = 5
+
+#: Shard files created when a sharded store is built without an explicit
+#: count (kwarg or ``REPRO_CACHE_SHARDS``).
+DEFAULT_SHARDS = 16
+
+#: Manifest file anchoring a sharded store's geometry; its presence also
+#: marks a directory as a sharded cache.
+MANIFEST_NAME = "shards.json"
 
 
 class CacheLockTimeout(RuntimeError):
@@ -118,9 +147,12 @@ class FileLock:
 class ResultCache:
     """One JSON cache file with locking, merging and quarantine."""
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, lock_timeout: float = 30.0,
+                 lock_stale: float = 30.0) -> None:
         self.path = path
         self.lock_path = path + ".lock"
+        self.lock_timeout = lock_timeout
+        self.lock_stale = lock_stale
 
     @classmethod
     def from_env(cls) -> Optional["ResultCache"]:
@@ -178,39 +210,8 @@ class ResultCache:
             return  # another process already moved or removed it
         logger.warning("quarantined corrupt result cache %s -> %s: %s",
                        self.path, dest, reason)
-        self._prune_quarantine()
-
-    def _prune_quarantine(self) -> None:
-        """Keep only the newest ``QUARANTINE_KEEP`` quarantined files.
-
-        A repeatedly-corrupted cache (bad disk, crashing writers) must
-        not grow an unbounded pile of ``.corrupt.*`` siblings.
-        """
         directory = os.path.dirname(os.path.abspath(self.path)) or "."
-        prefix = os.path.basename(self.path) + ".corrupt."
-        try:
-            names = [n for n in os.listdir(directory)
-                     if n.startswith(prefix)]
-        except OSError:  # pragma: no cover - directory vanished
-            return
-        if len(names) <= QUARANTINE_KEEP:
-            return
-
-        def mtime(name: str) -> float:
-            try:
-                return os.path.getmtime(os.path.join(directory, name))
-            except OSError:
-                return 0.0
-
-        names.sort(key=mtime, reverse=True)
-        for name in names[QUARANTINE_KEEP:]:
-            victim = os.path.join(directory, name)
-            try:
-                os.unlink(victim)
-            except OSError:  # pragma: no cover - concurrent prune
-                continue
-            logger.warning("pruned old quarantined cache file %s "
-                           "(keeping newest %d)", victim, QUARANTINE_KEEP)
+        prune_quarantine(directory, os.path.basename(self.path) + ".corrupt.")
 
     # -- writing ---------------------------------------------------------
 
@@ -223,7 +224,8 @@ class ResultCache:
             return
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
-        with FileLock(self.lock_path):
+        with FileLock(self.lock_path, timeout=self.lock_timeout,
+                      stale_seconds=self.lock_stale):
             merged = self.load_all()
             merged.update(entries)
             self._publish(merged)
@@ -242,3 +244,318 @@ class ResultCache:
                 os.unlink(tmp)
             except OSError:
                 pass
+
+
+# ----------------------------------------------------------------------
+# Quarantine pruning (shared by corrupt-file and migration quarantines).
+# ----------------------------------------------------------------------
+
+def prune_quarantine(directory: str, prefix: str,
+                     keep: int = QUARANTINE_KEEP) -> None:
+    """Keep only the newest ``keep`` files matching ``prefix``.
+
+    A repeatedly-corrupted cache (bad disk, crashing writers) or a
+    repeatedly re-run migration must not grow an unbounded pile of
+    quarantined siblings.
+    """
+    try:
+        names = [n for n in os.listdir(directory) if n.startswith(prefix)]
+    except OSError:  # pragma: no cover - directory vanished
+        return
+    if len(names) <= keep:
+        return
+
+    def mtime(name: str) -> float:
+        try:
+            return os.path.getmtime(os.path.join(directory, name))
+        except OSError:
+            return 0.0
+
+    names.sort(key=mtime, reverse=True)
+    for name in names[keep:]:
+        victim = os.path.join(directory, name)
+        try:
+            os.unlink(victim)
+        except OSError:  # pragma: no cover - concurrent prune
+            continue
+        logger.warning("pruned old quarantined cache file %s "
+                       "(keeping newest %d)", victim, keep)
+
+
+# ----------------------------------------------------------------------
+# Spec-key schema.
+# ----------------------------------------------------------------------
+
+def parse_spec_key(key: str) -> Dict[str, object]:
+    """Parse a spec key under the current schema; raises ``ValueError``.
+
+    The schema is the producer contract of
+    :meth:`repro.harness.experiment.RunSpec.key`::
+
+        n_cores/variant/workload/seed/measure/warmup[/topology]
+
+    Used by the migration path to decide which legacy entries still mean
+    anything to this build (unparseable ones are quarantined, never
+    silently dropped) and by the service daemon to validate submitted
+    keys.
+    """
+    parts = key.split("/")
+    if len(parts) not in (6, 7):
+        raise ValueError(
+            f"spec key {key!r} has {len(parts)} components, expected "
+            f"n_cores/variant/workload/seed/measure/warmup[/topology]"
+        )
+    n_cores_s, variant, workload, seed_s, measure_s, warmup_s = parts[:6]
+    try:
+        n_cores = int(n_cores_s)
+        seed = int(seed_s)
+        measure = int(measure_s)
+        warmup = int(warmup_s)
+    except ValueError:
+        raise ValueError(
+            f"spec key {key!r} has non-integer numeric components"
+        ) from None
+    if n_cores <= 0 or measure <= 0 or warmup < 0:
+        raise ValueError(f"spec key {key!r} has out-of-range quanta")
+    from repro.sim.config import Variant
+
+    if variant not in {v.value for v in Variant}:
+        raise ValueError(f"spec key {key!r} names unknown variant "
+                         f"{variant!r}")
+    if not workload:
+        raise ValueError(f"spec key {key!r} has an empty workload")
+    parsed: Dict[str, object] = {
+        "n_cores": n_cores, "variant": variant, "workload": workload,
+        "seed": seed, "measure_instructions": measure,
+        "warmup_instructions": warmup,
+    }
+    if len(parts) == 7:
+        from repro.noc.topology import TOPOLOGY_CHOICES
+
+        topology = parts[6]
+        # mesh keys never carry the suffix (historical-key compatibility)
+        if topology == "mesh" or topology not in TOPOLOGY_CHOICES:
+            raise ValueError(f"spec key {key!r} names unknown topology "
+                             f"{topology!r}")
+        parsed["topology"] = topology
+    return parsed
+
+
+def spec_key_shard(key: str, n_shards: int) -> int:
+    """Stable shard index for ``key``: CRC32 of its cell prefix.
+
+    The prefix is the first three components (``n_cores/variant/
+    workload``), so every seed/quantum/topology variation of one sweep
+    cell lands in the same shard file while different cells -- the axis
+    concurrent sweeps actually fan out over -- spread across shards.
+    """
+    prefix = "/".join(key.split("/")[:3])
+    return zlib.crc32(prefix.encode()) % n_shards
+
+
+# ----------------------------------------------------------------------
+# Sharded store.
+# ----------------------------------------------------------------------
+
+class ShardedCache:
+    """A directory of per-shard :class:`ResultCache` files.
+
+    Geometry is anchored by a ``shards.json`` manifest written when the
+    store is created; later openers follow the manifest regardless of
+    their own ``n_shards`` argument, so concurrent processes with
+    different environments always agree on the key -> shard routing.
+    """
+
+    def __init__(self, root: str, n_shards: Optional[int] = None,
+                 lock_timeout: float = 30.0,
+                 lock_stale: float = 30.0) -> None:
+        self.root = root
+        self.lock_timeout = lock_timeout
+        self.lock_stale = lock_stale
+        os.makedirs(root, exist_ok=True)
+        self.n_shards = self._anchor_manifest(n_shards)
+        self._shards: Dict[int, ResultCache] = {}
+
+    def _anchor_manifest(self, n_shards: Optional[int]) -> int:
+        manifest_path = os.path.join(self.root, MANIFEST_NAME)
+        with FileLock(manifest_path + ".lock", timeout=self.lock_timeout,
+                      stale_seconds=self.lock_stale):
+            try:
+                with open(manifest_path) as handle:
+                    manifest = json.load(handle)
+                existing = int(manifest["n_shards"])
+                if manifest.get("schema") != SCHEMA_VERSION or existing < 1:
+                    raise ValueError(f"bad manifest {manifest!r}")
+            except FileNotFoundError:
+                chosen = n_shards if n_shards else DEFAULT_SHARDS
+                if chosen < 1:
+                    raise ValueError(
+                        f"a sharded cache needs >= 1 shard, got {chosen}")
+                tmp = f"{manifest_path}.tmp.{os.getpid()}"
+                with open(tmp, "w") as handle:
+                    json.dump({"schema": SCHEMA_VERSION,
+                               "n_shards": chosen}, handle)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, manifest_path)
+                return chosen
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"unreadable sharded-cache manifest {manifest_path!r}: "
+                    f"{exc}"
+                ) from None
+        if n_shards and n_shards != existing:
+            logger.warning(
+                "sharded cache %s has %d shards (manifest); ignoring the "
+                "requested %d", self.root, existing, n_shards)
+        return existing
+
+    def _shard(self, index: int) -> ResultCache:
+        cache = self._shards.get(index)
+        if cache is None:
+            cache = ResultCache(
+                os.path.join(self.root, f"shard-{index:03d}.json"),
+                lock_timeout=self.lock_timeout, lock_stale=self.lock_stale,
+            )
+            self._shards[index] = cache
+        return cache
+
+    def shard_for(self, key: str) -> ResultCache:
+        return self._shard(spec_key_shard(key, self.n_shards))
+
+    # -- reading ---------------------------------------------------------
+
+    def load(self, key: str) -> Optional[dict]:
+        return self.shard_for(key).load(key)
+
+    def load_all(self) -> Dict[str, dict]:
+        merged: Dict[str, dict] = {}
+        for index in range(self.n_shards):
+            merged.update(self._shard(index).load_all())
+        return merged
+
+    # -- writing ---------------------------------------------------------
+
+    def store(self, key: str, entry: dict) -> None:
+        self.store_many({key: entry})
+
+    def store_many(self, entries: Dict[str, dict]) -> None:
+        """Group entries by shard; each shard publishes atomically.
+
+        Writers touching disjoint shards never contend; writers sharing
+        a shard serialise only on that shard's lock file.
+        """
+        by_shard: Dict[int, Dict[str, dict]] = {}
+        for key, entry in entries.items():
+            by_shard.setdefault(
+                spec_key_shard(key, self.n_shards), {})[key] = entry
+        for index, group in sorted(by_shard.items()):
+            self._shard(index).store_many(group)
+
+    # -- migration quarantine -------------------------------------------
+
+    def quarantine_entries(self, entries: Dict[str, dict],
+                           reason: str) -> Optional[str]:
+        """Preserve unmigratable entries inside the store; returns path."""
+        if not entries:
+            return None
+        for n in itertools.count():
+            dest = os.path.join(
+                self.root, f"quarantined-keys.{os.getpid()}.{n}.json")
+            if not os.path.exists(dest):
+                break
+        tmp = f"{dest}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump({"schema": SCHEMA_VERSION, "reason": reason,
+                       "entries": entries}, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, dest)
+        logger.warning(
+            "quarantined %d legacy cache entr%s with unparseable spec "
+            "keys -> %s: %s", len(entries),
+            "y" if len(entries) == 1 else "ies", dest, reason)
+        prune_quarantine(self.root, "quarantined-keys.")
+        return dest
+
+
+CacheBackend = Union[ResultCache, ShardedCache]
+
+
+def migrate_legacy_file(path: str, n_shards: Optional[int] = None
+                        ) -> ShardedCache:
+    """One-shot migration: legacy single-file cache -> sharded store.
+
+    Entries whose spec keys parse under the current schema are routed to
+    their shards; the rest are *quarantined* inside the new store (never
+    dropped).  The legacy file is preserved as ``<path>.migrated``.
+    Concurrent migrators serialise on a lock file; the loser finds a
+    directory and simply opens it.
+    """
+    with FileLock(path + ".migrate.lock", timeout=60.0):
+        if os.path.isdir(path):  # somebody else migrated while we waited
+            return ShardedCache(path, n_shards)
+        legacy = ResultCache(path)
+        entries = legacy.load_all()
+        good: Dict[str, dict] = {}
+        bad: Dict[str, dict] = {}
+        errors = []
+        for key, entry in entries.items():
+            try:
+                parse_spec_key(key)
+            except ValueError as exc:
+                bad[key] = entry
+                if len(errors) < 3:
+                    errors.append(str(exc))
+                continue
+            good[key] = entry
+        # Build the sharded store beside the file, move the legacy file
+        # aside, then claim its path.  A crash in between leaves the
+        # fully-populated temp directory and the .migrated backup; no
+        # window loses entries that existed in only one place.
+        tmp_root = f"{path}.tmp-shards.{os.getpid()}"
+        store = ShardedCache(tmp_root, n_shards)
+        store.store_many(good)
+        store.quarantine_entries(
+            bad, "; ".join(errors) if errors else "unparseable spec keys")
+        if os.path.exists(path):
+            os.replace(path, path + ".migrated")
+        os.rename(tmp_root, path)
+        logger.warning(
+            "migrated legacy result cache %s -> sharded store "
+            "(%d entr%s, %d quarantined; original kept as %s)",
+            path, len(good), "y" if len(good) == 1 else "ies", len(bad),
+            path + ".migrated")
+        return ShardedCache(path, n_shards)
+
+
+def open_cache(path: str, n_shards: Optional[int] = None) -> CacheBackend:
+    """Open the result store at ``path``, picking the right backend.
+
+    * an existing directory (or a path with a trailing separator, or an
+      explicit ``n_shards``/``REPRO_CACHE_SHARDS`` > 0) -> sharded store;
+    * an existing legacy *file* with sharding requested -> one-shot
+      migration into a sharded store at the same path;
+    * anything else -> the legacy single-file :class:`ResultCache`.
+    """
+    if n_shards is None:
+        from repro import config as repro_config
+
+        n_shards = repro_config.resolve("cache_shards")
+    wants_dir = (
+        path.endswith(os.sep) or path.endswith("/")
+        or os.path.isdir(path)
+        or (n_shards or 0) > 0
+    )
+    clean = path.rstrip("/").rstrip(os.sep) or path
+    if not wants_dir:
+        return ResultCache(clean)
+    if os.path.isfile(clean):
+        return migrate_legacy_file(clean, n_shards or None)
+    return ShardedCache(clean, n_shards or None)
+
+
+def cache_from_env() -> Optional[CacheBackend]:
+    """The shared result store named by ``REPRO_CACHE``, if configured."""
+    path = os.environ.get("REPRO_CACHE")
+    return open_cache(path) if path else None

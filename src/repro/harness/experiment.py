@@ -14,15 +14,16 @@ produce stable averages.
 
 from __future__ import annotations
 
-import math
 import os
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional
 
+from repro import config as repro_config
 from repro.circuits.outcomes import outcome_fractions
 from repro.noc.topology import resolve_topology
 from repro.cpu.workloads import ALL_WORKLOADS, workload_by_name
-from repro.harness.cache import ResultCache
+from repro.harness.cache import CacheBackend, cache_from_env
 from repro.power.energy import network_energy
 from repro.sim.config import SystemConfig, Variant
 from repro.sim.stats import Histogram, Stats
@@ -44,43 +45,29 @@ DEFAULT_WORKLOAD_SUBSET = [
 ]
 
 
-_FLAG_TRUE = {"1", "true", "yes", "on"}
-_FLAG_FALSE = {"", "0", "false", "no", "off"}
+#: Environment-variable name -> repro.config setting name, so the legacy
+#: ``env_flag("REPRO_CHECK")`` spelling keeps working while all parsing
+#: and error reporting happens in one place (:mod:`repro.config`).
+_ENV_TO_SETTING = {
+    entry.env: name for name, entry in repro_config.SETTINGS.items()
+}
 
 
 def env_flag(name: str, default: bool = False) -> bool:
-    """Parse a boolean environment variable, rejecting garbage loudly."""
-    raw = os.environ.get(name)
-    if raw is None:
-        return default
-    value = raw.strip().lower()
-    if value in _FLAG_TRUE:
-        return True
-    if value in _FLAG_FALSE:
-        return False
-    raise ValueError(
-        f"{name} must be one of 1/0/true/false/yes/no/on/off, got {raw!r}"
-    )
+    """Parse a boolean environment variable, rejecting garbage loudly.
+
+    Delegates to :func:`repro.config.resolve`; ``name`` is the
+    environment-variable spelling (e.g. ``"REPRO_CHECK"``).
+    """
+    setting_name = _ENV_TO_SETTING.get(name)
+    if setting_name is None:
+        raise KeyError(f"unknown configuration variable {name}")
+    return bool(repro_config.resolve(setting_name, default=default))
 
 
 def scale() -> float:
     """Global simulation-length multiplier (env ``REPRO_SCALE``)."""
-    raw = os.environ.get("REPRO_SCALE")
-    if raw is None or raw.strip() == "":
-        return 1.0
-    try:
-        value = float(raw)
-    except ValueError:
-        raise ValueError(
-            f"REPRO_SCALE must be a number (simulation-length multiplier, "
-            f"e.g. REPRO_SCALE=0.5), got {raw!r}"
-        ) from None
-    if not math.isfinite(value) or value <= 0:
-        raise ValueError(
-            f"REPRO_SCALE must be a finite number > 0 (it multiplies the "
-            f"measured instruction quanta), got {raw!r}"
-        )
-    return value
+    return repro_config.resolve("scale")
 
 
 def default_workloads(full: Optional[bool] = None) -> List[str]:
@@ -256,9 +243,14 @@ def _serialize_histograms(stats: Stats) -> Dict[str, dict]:
     }
 
 
-def _disk_cache() -> Optional[ResultCache]:
-    """The shared on-disk cache (env ``REPRO_CACHE``), if configured."""
-    return ResultCache.from_env()
+def _disk_cache() -> Optional[CacheBackend]:
+    """The shared result store (env ``REPRO_CACHE``), if configured.
+
+    Either a legacy single-file :class:`~repro.harness.cache.ResultCache`
+    or a :class:`~repro.harness.cache.ShardedCache` directory -- see
+    :func:`repro.harness.cache.open_cache` for how the backend is picked.
+    """
+    return cache_from_env()
 
 
 def _load_disk(key: str) -> Optional[RunResult]:
@@ -282,12 +274,11 @@ def _store_disk(result: RunResult) -> None:
 
 def crash_dir() -> str:
     """Directory for crash reports (env ``REPRO_CRASH_DIR``)."""
-    return os.environ.get("REPRO_CRASH_DIR") or os.path.join("out", "crash")
+    return repro_config.resolve("crash_dir")
 
 
 def _check_interval() -> int:
-    raw = os.environ.get("REPRO_CHECK_INTERVAL")
-    return int(raw) if raw else 2000
+    return repro_config.resolve("check_interval")
 
 
 def _assemble_result(spec: RunSpec, key: str, config: SystemConfig,
@@ -329,26 +320,16 @@ def _checkpoint_interval(config: SystemConfig) -> int:
     """
     if config.sim.checkpoint_interval:
         return config.sim.checkpoint_interval
-    raw = os.environ.get("REPRO_CHECKPOINT", "").strip()
-    if raw:
-        try:
-            value = int(raw)
-        except ValueError:
-            value = -1
-        if value <= 0:
-            raise ValueError(
-                f"REPRO_CHECKPOINT must be a positive cycle count, "
-                f"got {raw!r}"
-            )
-        return value
-    return 0
+    return repro_config.resolve("checkpoint")
+
+
+def _checkpoint_base_dir() -> str:
+    return repro_config.resolve("checkpoint_dir")
 
 
 def _checkpoint_dir(spec_key: str) -> str:
     """Per-run checkpoint directory, keyed by the run's spec key."""
-    base = os.environ.get("REPRO_CHECKPOINT_DIR", "").strip() \
-        or os.path.join("out", "checkpoint")
-    return os.path.join(base, spec_key.replace("/", "_"))
+    return os.path.join(_checkpoint_base_dir(), spec_key.replace("/", "_"))
 
 
 _warned_observed_shards = False
@@ -548,8 +529,11 @@ def run_experiment_safe(spec: RunSpec) -> RunResult:
     """
     from repro.sim.kernel import SimulationError
 
-    spec = spec.scaled()
-    key = spec.key()
+    # scaled() is not idempotent, so the key is computed on a scaled
+    # copy while run_experiment (which scales internally) receives the
+    # original spec -- otherwise REPRO_SCALE would be applied twice.
+    scaled = spec.scaled()
+    key = scaled.key()
     if key in _memo:
         return _memo[key]
     try:
@@ -557,13 +541,13 @@ def run_experiment_safe(spec: RunSpec) -> RunResult:
     except SimulationError as exc:
         result = RunResult(
             spec_key=key,
-            n_cores=spec.n_cores,
-            variant=spec.variant.value,
-            workload=spec.workload,
+            n_cores=scaled.n_cores,
+            variant=scaled.variant.value,
+            workload=scaled.workload,
             exec_cycles=0,
             error=str(exc),
             error_kind=type(exc).__name__,
-            crash_report=_save_crash(spec, exc),
+            crash_report=_save_crash(scaled, exc),
         )
         _memo[key] = result
         return result
@@ -588,77 +572,29 @@ def run_matrix(n_cores: int, variants: Iterable[Variant],
                jobs: Optional[int] = None,
                fail_fast: Optional[bool] = None,
                ) -> Dict[Variant, Dict[str, RunResult]]:
-    """Sweep variants x workloads; returns results[variant][workload].
+    """Deprecated alias for :func:`repro.api.run_matrix`."""
+    warnings.warn(
+        "repro.harness.experiment.run_matrix is deprecated; "
+        "use repro.api.run_matrix",
+        DeprecationWarning, stacklevel=2,
+    )
+    from repro import api
 
-    With ``jobs > 1`` (or ``REPRO_JOBS`` set) the specs are computed
-    across worker processes first; assembly below then hits the memo, so
-    the returned results are bit-identical to a serial sweep.
-
-    By default a failing run (deadlock/invariant violation) degrades to
-    a failure :class:`RunResult` and the sweep continues; pass
-    ``fail_fast=True`` (or set ``REPRO_FAILFAST=1``) to abort on the
-    first simulation error instead.
-    """
-    from repro.harness import parallel
-
-    if fail_fast is None:
-        fail_fast = env_flag("REPRO_FAILFAST")
-    runner = run_experiment if fail_fast else run_experiment_safe
-    variants = list(variants)
-    workloads = list(workloads)
-    specs = [
-        RunSpec(n_cores, variant, workload, seed)
-        for variant in variants
-        for workload in workloads
-    ]
-    if parallel.resolve_jobs(jobs) > 1 and len(specs) > 1:
-        parallel.run_specs(specs, jobs=jobs, safe=not fail_fast)
-    out: Dict[Variant, Dict[str, RunResult]] = {}
-    for variant in variants:
-        per = {}
-        for workload in workloads:
-            per[workload] = runner(
-                RunSpec(n_cores, variant, workload, seed)
-            )
-        out[variant] = per
-    return out
+    return api.run_matrix(n_cores, variants, workloads, seed=seed,
+                          jobs=jobs, fail_fast=fail_fast)
 
 
 def compare_variants(workload: str, n_cores: int = 16,
                      variants: Optional[Iterable[Variant]] = None,
                      seed: int = 1,
                      jobs: Optional[int] = None) -> Dict[str, Dict[str, float]]:
-    """One-call comparison of circuit variants on a single workload.
+    """Deprecated alias for :func:`repro.api.compare_variants`."""
+    warnings.warn(
+        "repro.harness.experiment.compare_variants is deprecated; "
+        "use repro.api.compare_variants",
+        DeprecationWarning, stacklevel=2,
+    )
+    from repro import api
 
-    Returns, per variant name: speedup vs. baseline, normalised network
-    energy, mean circuit-eligible reply latency, and circuit success rate.
-    The convenient entry point for downstream users exploring the design
-    space (``from repro import compare_variants``).
-    """
-    from repro.harness import parallel
-
-    if variants is None:
-        variants = [Variant.BASELINE, Variant.FRAGMENTED, Variant.COMPLETE,
-                    Variant.COMPLETE_NOACK, Variant.SLACKDELAY1_NOACK,
-                    Variant.IDEAL]
-    variants = list(variants)
-    if parallel.resolve_jobs(jobs) > 1:
-        specs = [RunSpec(n_cores, v, workload, seed)
-                 for v in [Variant.BASELINE] + variants]
-        parallel.run_specs(specs, jobs=jobs)
-    base = run_experiment(RunSpec(n_cores, Variant.BASELINE, workload, seed))
-    out: Dict[str, Dict[str, float]] = {}
-    for variant in variants:
-        result = run_experiment(RunSpec(n_cores, variant, workload, seed))
-        replies = result.counter("circuit.replies_total")
-        out[variant.value] = {
-            "speedup": base.exec_cycles / result.exec_cycles,
-            "energy_vs_baseline": result.energy_total / base.energy_total,
-            "reply_latency": result.mean("lat.net.crep"),
-            "reply_latency_p95": result.percentile("lat.net.crep", 95),
-            "circuit_success": (
-                result.counter("circuit.outcome.on_circuit") / replies
-                if replies else 0.0
-            ),
-        }
-    return out
+    return api.compare_variants(workload, n_cores=n_cores,
+                                variants=variants, seed=seed, jobs=jobs)

@@ -59,17 +59,11 @@ def resolve_jobs(jobs: Optional[int] = None, default: int = 1) -> int:
     ``default``.  ``0`` means one worker per CPU core.
     """
     if jobs is None:
-        raw = os.environ.get("REPRO_JOBS")
-        if raw is None or raw.strip() == "":
+        from repro import config as repro_config
+
+        jobs = repro_config.resolve("jobs")
+        if jobs is None:
             jobs = default
-        else:
-            try:
-                jobs = int(raw)
-            except ValueError:
-                raise ValueError(
-                    f"REPRO_JOBS must be a non-negative integer "
-                    f"(0 = one worker per CPU core), got {raw!r}"
-                ) from None
     if jobs == 0:
         return os.cpu_count() or 1
     if jobs < 0:

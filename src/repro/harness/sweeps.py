@@ -55,7 +55,9 @@ def _measure_points(payloads: Sequence[Tuple],
     n_jobs = parallel.resolve_jobs(jobs)
     if n_jobs <= 1 or len(payloads) <= 1:
         return [_measure(*payload) for payload in payloads]
-    done = parallel.run_tasks(
+    from repro import api
+
+    done = api.map_tasks(
         {str(i): payload for i, payload in enumerate(payloads)},
         worker=_measure_task, jobs=n_jobs,
     )

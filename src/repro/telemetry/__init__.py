@@ -37,8 +37,8 @@ hook sites - the interactive probes in :mod:`repro.telemetry.probes`
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
 
 from repro.telemetry.metrics import (
     MetricRegistry,
@@ -105,6 +105,13 @@ class TelemetryConfig:
     span_limit: int = 50_000
     out_dir: str = os.path.join("out", "telemetry")
     trace_dir: str = os.path.join("out", "trace")
+    #: Live-sample subscriber ``fn(cycle, {name: value})`` registered on
+    #: the metric registry at attach time.  Observation only -- it cannot
+    #: change what is sampled, so streamed runs stay bit-identical.  The
+    #: service daemon uses this to forward in-flight metric series.
+    on_sample: Optional[Callable[[int, Dict[str, float]], None]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def enabled(self) -> bool:
@@ -146,6 +153,8 @@ class Telemetry:
         if config.metrics:
             self.registry = MetricRegistry()
             self._standard_probes(net, system)
+            if config.on_sample is not None:
+                self.registry.subscribe(config.on_sample)
             self.sampler = MetricSampler(self.registry, config.interval)
             self.sampler.attach(sim)
         if config.spans:

@@ -147,6 +147,7 @@ class MetricRegistry:
         self._order: List[str] = []
         self._probes: Dict[str, Probe] = {}
         self._series: Dict[str, List[float]] = {}
+        self._subscribers: List[Callable[[int, Dict[str, float]], None]] = []
 
     def add_probe(self, name: str, probe: Probe) -> None:
         if name in self._probes:
@@ -155,6 +156,16 @@ class MetricRegistry:
         self._probes[name] = probe
         self._series[name] = []
 
+    def subscribe(self, fn: Callable[[int, Dict[str, float]], None]) -> None:
+        """Call ``fn(cycle, {name: value})`` after every sample.
+
+        This is the live-streaming hook: the service daemon registers a
+        subscriber that forwards each sample to interested clients while
+        the run is still in flight.  Subscribers observe values, never
+        produce them, so subscribed runs stay bit-identical.
+        """
+        self._subscribers.append(fn)
+
     def names(self) -> List[str]:
         return list(self._order)
 
@@ -162,6 +173,10 @@ class MetricRegistry:
         self.cycles.append(cycle)
         for name in self._order:
             self._series[name].append(self._probes[name](cycle))
+        if self._subscribers:
+            values = {name: self._series[name][-1] for name in self._order}
+            for fn in self._subscribers:
+                fn(cycle, values)
 
     def series(self, name: str) -> List[float]:
         return self._series[name]

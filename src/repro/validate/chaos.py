@@ -501,6 +501,173 @@ def _scenario_stale_or_foreign_checkpoint() -> ChaosOutcome:
         return ChaosOutcome(name, False, error="foreign config accepted")
 
 
+# ----------------------------------------------------------------------
+# Service-level scenarios: the job daemon must uphold the same contract
+# as the shard supervisor - worker death is invisible in the results.
+# ----------------------------------------------------------------------
+
+def _service_reference(spec) -> dict:
+    """Compute ``spec`` directly, bypassing every cache layer, so the
+    comparison against the daemon's answer is a real recomputation."""
+    from repro.harness import experiment
+
+    saved_memo = dict(experiment._memo)
+    saved_cache = os.environ.pop("REPRO_CACHE", None)
+    try:
+        experiment._memo.clear()
+        return experiment.run_experiment(spec).to_json()
+    finally:
+        experiment._memo.clear()
+        experiment._memo.update(saved_memo)
+        if saved_cache is not None:
+            os.environ["REPRO_CACHE"] = saved_cache
+
+
+def _scenario_service_worker_sigkill() -> ChaosOutcome:
+    """SIGKILL a job-daemon worker mid-run: the daemon must requeue the
+    job onto a respawned worker and the final result must stay
+    bit-identical to a direct :func:`run_experiment` call."""
+    from repro.harness import experiment
+    from repro.harness.experiment import RunSpec
+    from repro.service import jobs as jobstates
+    from repro.service.client import ServiceClient
+    from repro.service.daemon import Daemon
+
+    name = "service-worker-sigkill"
+    spec = RunSpec(16, Variant.REUSE_NOACK, _WORKLOAD, _SEED,
+                   measure_instructions=2500, warmup_instructions=300)
+    # Workers are forked at start(): clear the memo first so the job is
+    # a genuine multi-second simulation the kill can land inside.
+    saved_memo = dict(experiment._memo)
+    experiment._memo.clear()
+    with tempfile.TemporaryDirectory() as tmp:
+        env = dict(os.environ,
+                   REPRO_CACHE=os.path.join(tmp, "store") + os.sep)
+        daemon = Daemon(os.path.join(tmp, "repro.sock"), workers=1, env=env)
+        daemon.start()
+        try:
+            client = ServiceClient(daemon.address)
+            [status] = client.submit([spec])
+            job_id = status["job_id"]
+            victim = None
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                info = client.info()
+                busy = [w for w in info["workers"]
+                        if w["current"] == job_id and w["alive"]]
+                if busy:
+                    victim = busy[0]["pid"]
+                    break
+                state = client.status([job_id])[0]["state"]
+                if state in jobstates.TERMINAL:
+                    return ChaosOutcome(
+                        name, False,
+                        error=f"job reached {state!r} before the kill "
+                              f"landed (run too short for the scenario)")
+                time.sleep(0.01)
+            if victim is None:
+                return ChaosOutcome(name, False,
+                                    error="job never started running")
+            os.kill(victim, signal.SIGKILL)
+            [row] = client.results([job_id], timeout=300.0)
+            respawns = client.info()["respawns"]
+        finally:
+            daemon.shutdown()
+            experiment._memo.clear()
+            experiment._memo.update(saved_memo)
+    if row["state"] != jobstates.DONE:
+        return ChaosOutcome(
+            name, False,
+            error=f"job ended {row['state']!r} after worker kill: "
+                  f"{row.get('error', '')}")
+    if respawns != 1:
+        return ChaosOutcome(name, False,
+                            error=f"expected 1 respawn, got {respawns}")
+    if row["attempts"] != 1:
+        return ChaosOutcome(
+            name, False,
+            error=f"expected 1 recorded requeue, got {row['attempts']}")
+    reference = _service_reference(spec)
+    if row["result"] != reference:
+        diff = [key for key in sorted(set(row["result"]) | set(reference))
+                if row["result"].get(key) != reference.get(key)]
+        return ChaosOutcome(
+            name, False,
+            error=f"result diverges from direct run on {diff[:3]}")
+    return ChaosOutcome(name, True,
+                        detail="worker killed mid-job; requeued, respawned, "
+                               "bit-identical")
+
+
+def _scenario_service_dedup() -> ChaosOutcome:
+    """Identical specs must join one job, and a fresh daemon over the
+    same sharded store must answer from cache without re-simulating."""
+    from repro.harness import experiment
+    from repro.harness.experiment import RunSpec
+    from repro.service import jobs as jobstates
+    from repro.service.client import ServiceClient
+    from repro.service.daemon import Daemon
+
+    name = "service-dedup-and-store"
+    spec = RunSpec(16, Variant.REUSE_NOACK, _WORKLOAD, _SEED,
+                   measure_instructions=600, warmup_instructions=150)
+    saved_memo = dict(experiment._memo)
+    experiment._memo.clear()
+    with tempfile.TemporaryDirectory() as tmp:
+        env = dict(os.environ,
+                   REPRO_CACHE=os.path.join(tmp, "store") + os.sep)
+        daemon = Daemon(os.path.join(tmp, "a.sock"), workers=1, env=env)
+        daemon.start()
+        try:
+            client = ServiceClient(daemon.address)
+            [first] = client.submit([spec])
+            [second] = client.submit([spec])
+            if first["job_id"] != second["job_id"]:
+                return ChaosOutcome(
+                    name, False,
+                    error="resubmitting an identical spec spawned a "
+                          "second job instead of joining the first")
+            [row] = client.results([first["job_id"]], timeout=300.0)
+            first_result = row["result"]
+        finally:
+            daemon.shutdown()
+            experiment._memo.clear()
+            experiment._memo.update(saved_memo)
+        if row["state"] != jobstates.DONE:
+            return ChaosOutcome(name, False,
+                                error=f"job ended {row['state']!r}: "
+                                      f"{row.get('error', '')}")
+        # A fresh daemon over the same store: submit must be answered
+        # from the store, never re-simulated.
+        daemon = Daemon(os.path.join(tmp, "b.sock"), workers=1, env=env)
+        daemon.start()
+        try:
+            client = ServiceClient(daemon.address)
+            [cached] = client.submit([spec])
+            if cached["state"] != jobstates.DONE or \
+                    cached["source"] != "cache":
+                return ChaosOutcome(
+                    name, False,
+                    error=f"store hit not honoured: state "
+                          f"{cached['state']!r} source {cached['source']!r}")
+            [row2] = client.results([cached["job_id"]], wait=False)
+            executed = sum(w["executed"]
+                           for w in client.info()["workers"])
+        finally:
+            daemon.shutdown()
+    if executed != 0:
+        return ChaosOutcome(name, False,
+                            error=f"restarted daemon re-simulated "
+                                  f"{executed} job(s) despite a store hit")
+    if row2["result"] != first_result:
+        return ChaosOutcome(name, False,
+                            error="stored result differs from the one the "
+                                  "first daemon computed")
+    return ChaosOutcome(name, True,
+                        detail="dedup joined, store hit served without "
+                               "re-simulation")
+
+
 def run_chaos_campaign(
     pipelines=PIPELINES,
     echo: Optional[Callable[[str], None]] = None,
@@ -541,4 +708,7 @@ def run_chaos_campaign(
     run(_scenario_respawn_exhausted)
     run(_scenario_corrupt_checkpoint)
     run(_scenario_stale_or_foreign_checkpoint)
+    say("service scenarios")
+    run(_scenario_service_worker_sigkill)
+    run(_scenario_service_dedup)
     return outcomes

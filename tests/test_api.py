@@ -1,0 +1,211 @@
+"""The public facade (:mod:`repro.api`): both modes, shims, streaming.
+
+In-process mode runs real (tiny) simulations; daemon mode boots a real
+:class:`repro.service.Daemon` on a unix socket and asserts the facade
+returns bit-identical results and seeds the local memo either way.
+"""
+
+import os
+
+import pytest
+
+from repro import api
+from repro.harness import experiment
+from repro.harness.experiment import RunResult, RunSpec
+from repro.sim.config import Variant
+from repro.telemetry import TelemetryConfig
+
+SMALL = dict(measure_instructions=250, warmup_instructions=80)
+
+
+@pytest.fixture(autouse=True)
+def clean_state(monkeypatch):
+    for var in ("REPRO_SCALE", "REPRO_FULL", "REPRO_JOBS", "REPRO_CACHE",
+                "REPRO_CACHE_SHARDS", "REPRO_SERVICE",
+                "REPRO_SERVICE_WORKERS", "REPRO_FAILFAST"):
+        monkeypatch.delenv(var, raising=False)
+    saved = dict(experiment._memo)
+    experiment._memo.clear()
+    yield
+    experiment._memo.clear()
+    experiment._memo.update(saved)
+
+
+@pytest.fixture
+def daemon_address(tmp_path, monkeypatch):
+    """A live daemon, selected through REPRO_SERVICE like production."""
+    from repro.service import Daemon
+
+    env = dict(os.environ, REPRO_CACHE=str(tmp_path / "store") + os.sep)
+    daemon = Daemon(str(tmp_path / "repro.sock"), workers=2, env=env)
+    daemon.start()
+    monkeypatch.setenv("REPRO_SERVICE", daemon.address)
+    yield daemon.address
+    daemon.shutdown()
+
+
+def _spec(seed=1, variant=Variant.BASELINE, **extra):
+    return RunSpec(16, variant, "canneal", seed, **SMALL, **extra)
+
+
+# ----------------------------------------------------------------------
+# In-process mode.
+# ----------------------------------------------------------------------
+
+def test_submit_in_process_matches_direct_run():
+    spec = _spec()
+    handle = api.submit([spec])
+    assert len(handle) == 1
+    [status] = api.status(handle)
+    assert status["state"] == "done"
+    [result] = api.results(handle)
+    assert result.to_json() == experiment.run_experiment(spec).to_json()
+
+
+def test_run_one_shot():
+    spec = _spec(seed=2)
+    assert api.run(spec).to_json() == \
+        experiment.run_experiment(spec).to_json()
+
+
+def test_stream_metrics_in_process_replays_buffered_series(tmp_path):
+    telemetry = TelemetryConfig(
+        metrics=True, spans=False, profile=False, interval=50,
+        out_dir=str(tmp_path / "telemetry"),
+        trace_dir=str(tmp_path / "trace"),
+    )
+    handle = api.submit([_spec(telemetry=telemetry)])
+    samples = list(api.stream_metrics(handle))
+    assert samples, "observed run produced no samples"
+    key = handle.keys[0]
+    cycles = [cycle for _, cycle, _ in samples]
+    assert all(k == key for k, _, _ in samples)
+    assert cycles == sorted(cycles)
+    assert all(isinstance(values, dict) and values
+               for _, _, values in samples)
+
+
+def test_plain_specs_produce_no_stream():
+    handle = api.submit([_spec(seed=3)])
+    assert list(api.stream_metrics(handle)) == []
+
+
+def test_safe_runner_scales_exactly_once(monkeypatch):
+    # Regression: run_experiment_safe used to scale the spec and then
+    # call run_experiment, which scales again -- so with REPRO_SCALE set
+    # the in-process facade simulated a double-shrunk run and diverged
+    # from the daemon (which scales exactly once, at submit).
+    monkeypatch.setenv("REPRO_SCALE", "0.08")
+    spec = RunSpec(16, Variant.BASELINE, "canneal", 7)
+    result = experiment.run_experiment_safe(spec)
+    assert result.spec_key == spec.scaled().key()
+    assert result.spec_key != spec.scaled().scaled().key()  # not idempotent
+    assert result.to_json() == experiment.run_experiment(spec).to_json()
+
+
+def test_map_tasks_runs_locally():
+    done = api.map_tasks({"a": 2, "b": 5}, worker=_triple, jobs=None)
+    assert done == {"a": 6, "b": 15}
+
+
+def _triple(payload):
+    return payload * 3
+
+
+# ----------------------------------------------------------------------
+# Sweep helpers and deprecation shims.
+# ----------------------------------------------------------------------
+
+def _fake_runner(calls):
+    def runner(spec):
+        spec = spec.scaled()
+        key = spec.key()
+        calls.append(key)
+        result = experiment._memo.get(key)
+        if result is None:
+            result = RunResult(
+                spec_key=key, n_cores=spec.n_cores,
+                variant=spec.variant.value, workload=spec.workload,
+                exec_cycles=1000 + len(calls),
+            )
+            experiment._memo[key] = result
+        return result
+    return runner
+
+
+def test_run_matrix_assembles_variant_by_workload(monkeypatch):
+    calls = []
+    runner = _fake_runner(calls)
+    monkeypatch.setattr(experiment, "run_experiment_safe", runner)
+    monkeypatch.setattr(experiment, "run_experiment", runner)
+    out = api.run_matrix(16, [Variant.BASELINE, Variant.COMPLETE],
+                         ["canneal", "fft"], seed=1)
+    assert set(out) == {Variant.BASELINE, Variant.COMPLETE}
+    assert set(out[Variant.BASELINE]) == {"canneal", "fft"}
+    for variant, per in out.items():
+        for workload, result in per.items():
+            assert result.variant == variant.value
+            assert result.workload == workload
+
+
+def test_legacy_entry_points_warn_and_forward(monkeypatch):
+    sentinel = object()
+    monkeypatch.setattr(api, "run_matrix",
+                        lambda *args, **kwargs: sentinel)
+    with pytest.warns(DeprecationWarning, match="repro.api.run_matrix"):
+        assert experiment.run_matrix(16, [], []) is sentinel
+    monkeypatch.setattr(api, "compare_variants",
+                        lambda *args, **kwargs: sentinel)
+    with pytest.warns(DeprecationWarning,
+                      match="repro.api.compare_variants"):
+        assert experiment.compare_variants("canneal") is sentinel
+
+
+def test_legacy_imports_still_resolve():
+    import repro
+    from repro.harness import compare_variants, run_matrix
+
+    assert repro.run_matrix is api.run_matrix
+    assert repro.compare_variants is api.compare_variants
+    assert run_matrix is not None and compare_variants is not None
+
+
+# ----------------------------------------------------------------------
+# Daemon mode: the same five calls against a live service.
+# ----------------------------------------------------------------------
+
+def test_daemon_mode_results_bit_identical_and_memo_seeded(daemon_address):
+    spec = _spec(seed=4)
+    assert api.service_address() == daemon_address
+    handle = api.submit([spec])
+    assert "daemon" in repr(handle)
+    [result] = api.results(handle, timeout=300.0)
+    assert result.spec_key in experiment._memo  # assembly reuses it
+    # Reference computed afterwards, in-process, with a clean memo.
+    del experiment._memo[result.spec_key]
+    assert result.to_json() == experiment.run_experiment(spec).to_json()
+
+
+def test_daemon_mode_stream_metrics(daemon_address, tmp_path):
+    telemetry = TelemetryConfig(
+        metrics=True, spans=False, profile=False, interval=50,
+        out_dir=str(tmp_path / "telemetry"),
+        trace_dir=str(tmp_path / "trace"),
+    )
+    handle = api.submit([_spec(telemetry=telemetry)])
+    samples = list(api.stream_metrics(handle))
+    assert samples
+    assert all(key == handle.keys[0] for key, _, _ in samples)
+
+
+def test_daemon_mode_run_matrix_parity(daemon_address, monkeypatch):
+    # run_matrix uses the default quanta; shrink them for the test.  The
+    # daemon pre-scales at submit with this same environment, so the
+    # keys (and results) agree with the local reference run.
+    monkeypatch.setenv("REPRO_SCALE", "0.02")
+    out = api.run_matrix(16, [Variant.BASELINE], ["canneal"], seed=5)
+    daemon_result = out[Variant.BASELINE]["canneal"]
+    experiment._memo.clear()
+    reference = experiment.run_experiment(
+        RunSpec(16, Variant.BASELINE, "canneal", 5))
+    assert daemon_result.to_json() == reference.to_json()

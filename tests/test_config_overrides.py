@@ -1,0 +1,151 @@
+"""Unified configuration (:mod:`repro.config`): precedence, typed errors,
+the ``env`` CLI view, and the legacy resolvers that now delegate here.
+"""
+
+import pytest
+
+from repro import config
+from repro.harness import experiment, parallel
+from repro.harness.__main__ import main as harness_main
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    for entry in config.SETTINGS.values():
+        monkeypatch.delenv(entry.env, raising=False)
+
+
+# ----------------------------------------------------------------------
+# Precedence: kwargs > environment > defaults.
+# ----------------------------------------------------------------------
+
+def test_resolve_precedence(monkeypatch):
+    assert config.resolve("jobs") is None  # registry default
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    assert config.resolve("jobs") == 4  # environment
+    assert config.resolve("jobs", override=2) == 2  # keyword wins
+    assert config.resolve("jobs", override=0) == 0  # 0 is a real override
+
+
+def test_resolve_call_site_default(monkeypatch):
+    assert config.resolve("scale") == 1.0
+    assert config.resolve("jobs", default=8) == 8
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    assert config.resolve("jobs", default=8) == 2  # env beats the default
+
+
+def test_overrides_reports_value_and_source(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    resolved = config.overrides(jobs=3)
+    assert resolved["jobs"].value == 3
+    assert resolved["jobs"].source == "jobs= (keyword)"
+    assert resolved["scale"].value == 0.5
+    assert resolved["scale"].source == "REPRO_SCALE"
+    assert resolved["full"].value is False
+    assert resolved["full"].source == "default"
+    assert set(resolved) == set(config.SETTINGS)
+
+
+def test_overrides_rejects_unknown_setting():
+    with pytest.raises(config.ConfigError, match="unknown setting"):
+        config.overrides(jobz=3)
+
+
+def test_empty_env_value_falls_through_to_default(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "")
+    assert config.resolve("jobs") is None
+    monkeypatch.setenv("REPRO_SCALE", "   ")
+    assert config.resolve("scale") == 1.0
+
+
+# ----------------------------------------------------------------------
+# Typed errors naming the offending source.
+# ----------------------------------------------------------------------
+
+def test_env_error_names_the_variable(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "banana")
+    with pytest.raises(config.ConfigError, match="REPRO_JOBS") as info:
+        config.resolve("jobs")
+    assert info.value.setting == "jobs"
+    assert info.value.source == "REPRO_JOBS"
+    assert isinstance(info.value, ValueError)  # legacy excepts still work
+
+
+def test_keyword_error_names_the_keyword():
+    with pytest.raises(config.ConfigError, match=r"scale= \(keyword\)") \
+            as info:
+        config.resolve("scale", override="zero")
+    assert info.value.source == "scale= (keyword)"
+
+
+@pytest.mark.parametrize("name,env,bad", [
+    ("scale", "REPRO_SCALE", "-1"),
+    ("scale", "REPRO_SCALE", "inf"),
+    ("full", "REPRO_FULL", "maybe"),
+    ("cache_shards", "REPRO_CACHE_SHARDS", "-3"),
+    ("check_interval", "REPRO_CHECK_INTERVAL", "0"),
+    ("shard_timeout", "REPRO_SHARD_TIMEOUT", "0"),
+    ("topology", "REPRO_TOPOLOGY", "ring"),
+    ("service_workers", "REPRO_SERVICE_WORKERS", "lots"),
+])
+def test_constraints_enforced_per_setting(monkeypatch, name, env, bad):
+    monkeypatch.setenv(env, bad)
+    with pytest.raises(config.ConfigError, match=env):
+        config.resolve(name)
+
+
+def test_bool_flags_accept_the_usual_spellings(monkeypatch):
+    for raw, expected in [("1", True), ("yes", True), ("on", True),
+                          ("TRUE", True), ("0", False), ("off", False),
+                          ("no", False), ("false", False)]:
+        monkeypatch.setenv("REPRO_FULL", raw)
+        assert config.resolve("full") is expected
+
+
+# ----------------------------------------------------------------------
+# The env view (library + CLI).
+# ----------------------------------------------------------------------
+
+def test_describe_renders_errors_inline(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "banana")
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    rows = {name: (value, source)
+            for name, _env, value, source in config.describe()}
+    assert rows["scale"] == ("0.5", "REPRO_SCALE")
+    assert "<error:" in rows["jobs"][0]
+    assert "REPRO_JOBS" in rows["jobs"][0]
+
+
+def test_cli_env_subcommand_prints_the_table(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.25")
+    monkeypatch.setenv("REPRO_JOBS", "banana")
+    assert harness_main(["env"]) == 0
+    out = capsys.readouterr().out
+    assert "REPRO_SCALE" in out and "0.25" in out
+    assert "REPRO_SERVICE" in out  # every registered knob is listed
+    assert "<error:" in out  # malformed values render, not crash
+
+
+# ----------------------------------------------------------------------
+# Legacy resolvers now delegate here.
+# ----------------------------------------------------------------------
+
+def test_legacy_resolvers_raise_the_typed_error(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "oops")
+    with pytest.raises(config.ConfigError, match="REPRO_SCALE"):
+        experiment.scale()
+    monkeypatch.setenv("REPRO_JOBS", "nope")
+    with pytest.raises(config.ConfigError, match="REPRO_JOBS"):
+        parallel.resolve_jobs(None)
+    monkeypatch.setenv("REPRO_FULL", "perhaps")
+    with pytest.raises(config.ConfigError, match="REPRO_FULL"):
+        experiment.env_flag("REPRO_FULL")
+
+
+def test_legacy_resolvers_read_values_through_config(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    assert experiment.scale() == 0.5
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert parallel.resolve_jobs(None) == 3
+    monkeypatch.setenv("REPRO_FULL", "yes")
+    assert experiment.env_flag("REPRO_FULL") is True

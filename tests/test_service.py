@@ -1,0 +1,238 @@
+"""End-to-end tests of the job daemon (:mod:`repro.service`).
+
+The daemon boots for real on a unix socket under ``tmp_path``, with a
+sharded result store and forked workers.  The acceptance tests mirror
+the service chaos scenarios: concurrent clients must observe results
+bit-identical to direct ``run_experiment`` calls, and a worker SIGKILL
+mid-job must be absorbed by requeue + respawn.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.harness import experiment
+from repro.harness.experiment import RunSpec
+from repro.service import (
+    DONE,
+    FAILED,
+    Daemon,
+    ServiceClient,
+)
+from repro.sim.config import Variant
+from repro.telemetry import TelemetryConfig
+
+SMALL = dict(measure_instructions=250, warmup_instructions=80)
+
+
+@pytest.fixture(autouse=True)
+def clean_state(monkeypatch):
+    for var in ("REPRO_SCALE", "REPRO_FULL", "REPRO_JOBS", "REPRO_CACHE",
+                "REPRO_CACHE_SHARDS", "REPRO_SERVICE",
+                "REPRO_SERVICE_WORKERS", "REPRO_CHECKPOINT",
+                "REPRO_RESUME"):
+        monkeypatch.delenv(var, raising=False)
+    saved = dict(experiment._memo)
+    experiment._memo.clear()
+    yield
+    experiment._memo.clear()
+    experiment._memo.update(saved)
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    env = dict(os.environ,
+               REPRO_CACHE=str(tmp_path / "store") + os.sep)
+    d = Daemon(str(tmp_path / "repro.sock"), workers=2, env=env)
+    d.start()
+    yield d
+    d.shutdown()
+
+
+@pytest.fixture
+def client(daemon):
+    return ServiceClient(daemon.address)
+
+
+def _direct(spec):
+    """Bit-exact reference: the plain run_experiment code path."""
+    return experiment.run_experiment(spec).to_json()
+
+
+def test_info_reports_fleet(client, daemon):
+    info = client.info()
+    assert info["pid"] == os.getpid()
+    assert len(info["workers"]) == 2
+    assert all(w["alive"] for w in info["workers"])
+    assert info["respawns"] == 0
+    assert info["store"].rstrip(os.sep).endswith("store")
+    assert client.ping()
+
+
+def test_submit_result_bit_identical_to_direct_run(client):
+    spec = RunSpec(16, Variant.BASELINE, "canneal", 1, **SMALL)
+    [status] = client.submit([spec])
+    assert status["state"] in ("queued", "running")
+    [row] = client.results([status["job_id"]], timeout=300.0)
+    assert row["state"] == DONE
+    assert row["source"] == "run"
+    assert row["attempts"] == 0
+    assert row["result"] == _direct(spec)
+
+
+def test_dedup_joins_queued_running_and_done(client):
+    spec = RunSpec(16, Variant.COMPLETE, "canneal", 1, **SMALL)
+    [first] = client.submit([spec])
+    [second] = client.submit([spec])
+    assert second["job_id"] == first["job_id"]
+    [row] = client.results([first["job_id"]], timeout=300.0)
+    assert row["state"] == DONE
+    # Even after completion, a resubmission joins the finished job.
+    [third] = client.submit([spec])
+    assert third["job_id"] == first["job_id"]
+    assert third["state"] == DONE
+
+
+def test_observed_specs_never_dedup(client, tmp_path):
+    telemetry = TelemetryConfig(
+        metrics=True, spans=False, profile=False, interval=50,
+        out_dir=str(tmp_path / "telemetry"),
+        trace_dir=str(tmp_path / "trace"),
+    )
+    spec = RunSpec(16, Variant.BASELINE, "canneal", 1,
+                   telemetry=telemetry, **SMALL)
+    [a] = client.submit([spec])
+    [b] = client.submit([spec])
+    assert a["job_id"] != b["job_id"]
+    client.results([a["job_id"], b["job_id"]], timeout=300.0)
+
+
+def test_store_hit_served_without_simulation(client, daemon, tmp_path):
+    spec = RunSpec(16, Variant.FRAGMENTED, "canneal", 1, **SMALL)
+    [status] = client.submit([spec])
+    [row] = client.results([status["job_id"]], timeout=300.0)
+    daemon.shutdown()
+    # A fresh daemon over the same store answers at submit time.
+    second = Daemon(str(tmp_path / "b.sock"), workers=1, env=daemon.env)
+    second.start()
+    try:
+        client2 = ServiceClient(second.address)
+        [cached] = client2.submit([spec])
+        assert cached["state"] == DONE
+        assert cached["source"] == "cache"
+        [row2] = client2.results([cached["job_id"]], wait=False)
+        assert row2["result"] == row["result"]
+        assert sum(w["executed"] for w in client2.info()["workers"]) == 0
+    finally:
+        second.shutdown()
+
+
+def test_concurrent_clients_get_bit_identical_results(daemon):
+    specs = [RunSpec(16, Variant.BASELINE, "canneal", seed, **SMALL)
+             for seed in (1, 2, 3, 4)]
+    outcomes = {}
+    errors = []
+
+    def one_client(idx):
+        try:
+            client = ServiceClient(daemon.address)
+            # Reversed order for odd clients: submission order must not
+            # matter once dedup folds the batches together.
+            batch = list(reversed(specs)) if idx % 2 else list(specs)
+            statuses = client.submit(batch)
+            rows = client.results([s["job_id"] for s in statuses],
+                                  timeout=600.0)
+            outcomes[idx] = {row["key"]: row["result"] for row in rows}
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append((idx, exc))
+
+    threads = [threading.Thread(target=one_client, args=(i,))
+               for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600)
+    assert not errors
+    assert len(outcomes) == 4
+    reference = {spec.key(): _direct(spec) for spec in specs}
+    for idx, per_client in outcomes.items():
+        assert per_client == reference, f"client {idx} diverged"
+    # Dedup means the fleet simulated each spec exactly once.
+    info = ServiceClient(daemon.address).info()
+    assert info["jobs"] == {DONE: len(specs)}
+
+
+def test_worker_sigkill_mid_job_requeues_bit_identical(client):
+    spec = RunSpec(16, Variant.REUSE_NOACK, "canneal", 5,
+                   measure_instructions=2500, warmup_instructions=300)
+    [status] = client.submit([spec])
+    job_id = status["job_id"]
+    victim = None
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        busy = [w for w in client.info()["workers"]
+                if w["current"] == job_id and w["alive"]]
+        if busy:
+            victim = busy[0]["pid"]
+            break
+        state = client.status([job_id])[0]["state"]
+        assert state not in (DONE, FAILED), \
+            f"job finished ({state}) before the kill landed"
+        time.sleep(0.01)
+    assert victim is not None, "job never started running"
+    os.kill(victim, signal.SIGKILL)
+    [row] = client.results([job_id], timeout=600.0)
+    assert row["state"] == DONE
+    assert row["attempts"] == 1  # exactly one requeue
+    assert client.info()["respawns"] == 1
+    assert row["result"] == _direct(spec)
+
+
+def test_infra_failure_exhausts_retries_then_failed(client, daemon):
+    spec = RunSpec(16, Variant.BASELINE, "no-such-workload", 1, **SMALL)
+    [status] = client.submit([spec])
+    [row] = client.results([status["job_id"]], timeout=300.0)
+    assert row["state"] == FAILED
+    assert row["attempts"] == daemon.retries + 1
+    assert row["error_kind"] == "KeyError"
+    assert "no-such-workload" in row["error"]
+    # FAILED jobs do not absorb resubmissions: the next submit retries.
+    [again] = client.submit([spec])
+    assert again["job_id"] != status["job_id"]
+
+
+def test_stream_delivers_live_metrics_then_end(client, tmp_path):
+    telemetry = TelemetryConfig(
+        metrics=True, spans=False, profile=False, interval=50,
+        out_dir=str(tmp_path / "telemetry"),
+        trace_dir=str(tmp_path / "trace"),
+    )
+    spec = RunSpec(16, Variant.BASELINE, "canneal", 1,
+                   telemetry=telemetry, **SMALL)
+    [status] = client.submit([spec])
+    events = list(client.stream(status["job_id"]))
+    assert events[-1] == {"event": "end", "state": DONE}
+    metrics = [e for e in events if e["event"] == "metric"]
+    assert metrics, "no metric samples streamed"
+    cycles = [e["cycle"] for e in metrics]
+    assert cycles == sorted(cycles)
+    assert all(isinstance(e["values"], dict) and e["values"]
+               for e in metrics)
+
+
+def test_status_of_unknown_job(client):
+    [row] = client.status(["job-does-not-exist"])
+    assert row["state"] == "unknown"
+
+
+def test_shutdown_op_stops_the_daemon(daemon):
+    client = ServiceClient(daemon.address)
+    assert client.ping()
+    client.shutdown()
+    deadline = time.time() + 30
+    while time.time() < deadline and client.ping():
+        time.sleep(0.05)
+    assert not client.ping()

@@ -1,0 +1,340 @@
+"""The sharded result store: routing, migration, multiprocess safety.
+
+The hammer tests at the bottom are the acceptance gate of the store: N
+concurrent writer processes across M shards, one of them crashing while
+it holds a shard lock mid-publish, and the surviving entries must be
+exactly the union of what the live writers wrote - nothing lost, nothing
+duplicated across shard files.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.harness.cache import (
+    DEFAULT_SHARDS,
+    MANIFEST_NAME,
+    QUARANTINE_KEEP,
+    ResultCache,
+    ShardedCache,
+    migrate_legacy_file,
+    open_cache,
+    parse_spec_key,
+    prune_quarantine,
+    spec_key_shard,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_SHARDS", raising=False)
+
+
+def _key(n_cores=16, variant="Baseline", workload="canneal", seed=1,
+         measure=10000, warmup=2000, topology=""):
+    base = f"{n_cores}/{variant}/{workload}/{seed}/{measure}/{warmup}"
+    return f"{base}/{topology}" if topology else base
+
+
+# ----------------------------------------------------------------------
+# Spec-key schema.
+# ----------------------------------------------------------------------
+
+def test_parse_spec_key_roundtrips_mesh_key():
+    parsed = parse_spec_key(_key())
+    assert parsed == {
+        "n_cores": 16, "variant": "Baseline", "workload": "canneal",
+        "seed": 1, "measure_instructions": 10000,
+        "warmup_instructions": 2000,
+    }
+
+
+def test_parse_spec_key_accepts_topology_suffix():
+    parsed = parse_spec_key(_key(topology="torus"))
+    assert parsed["topology"] == "torus"
+
+
+@pytest.mark.parametrize("bad", [
+    "16/Baseline/canneal/1/10000",            # too few components
+    "16/Baseline/canneal/1/10000/2000/torus/x",  # too many
+    "x/Baseline/canneal/1/10000/2000",        # non-integer n_cores
+    "16/Baseline/canneal/one/10000/2000",     # non-integer seed
+    "16/NotAVariant/canneal/1/10000/2000",    # unknown variant
+    "16/baseline/canneal/1/10000/2000",       # wrong case (schema is exact)
+    "16/Baseline//1/10000/2000",              # empty workload
+    "16/Baseline/canneal/1/0/2000",           # out-of-range measure
+    "16/Baseline/canneal/1/10000/2000/mesh",  # mesh never carries suffix
+    "16/Baseline/canneal/1/10000/2000/ring",  # unknown topology
+])
+def test_parse_spec_key_rejects(bad):
+    with pytest.raises(ValueError):
+        parse_spec_key(bad)
+
+
+def test_shard_routing_is_stable_and_cell_grouped():
+    n = 8
+    base = spec_key_shard(_key(seed=1), n)
+    # Every seed/quantum/topology variation of one sweep cell shares a
+    # shard; the index is deterministic and in range.
+    for key in (_key(seed=7), _key(measure=123, warmup=45),
+                _key(topology="torus")):
+        assert spec_key_shard(key, n) == base
+    for workload in ("fft", "lu_cb", "radix", "barnes"):
+        assert 0 <= spec_key_shard(_key(workload=workload), n) < n
+    assert spec_key_shard(_key(), n) == spec_key_shard(_key(), n)
+
+
+# ----------------------------------------------------------------------
+# Sharded store basics.
+# ----------------------------------------------------------------------
+
+def test_sharded_roundtrip_and_shard_placement(tmp_path):
+    root = str(tmp_path / "store")
+    store = ShardedCache(root, n_shards=4)
+    entries = {
+        _key(workload=f"wl{i}", seed=s): {"i": i, "s": s}
+        for i in range(6) for s in (1, 2)
+    }
+    store.store_many(entries)
+    assert store.load_all() == entries
+    for key, entry in entries.items():
+        assert store.load(key) == entry
+    # Each key lives in exactly the shard file its routing names.
+    seen = {}
+    for name in os.listdir(root):
+        if not name.startswith("shard-") or not name.endswith(".json"):
+            continue
+        index = int(name[len("shard-"):-len(".json")])
+        with open(os.path.join(root, name)) as handle:
+            data = json.load(handle)
+        for key in data["entries"]:
+            assert spec_key_shard(key, 4) == index
+            assert key not in seen, f"{key} duplicated across shards"
+            seen[key] = index
+    assert set(seen) == set(entries)
+
+
+def test_manifest_anchors_geometry_over_requests(tmp_path):
+    root = str(tmp_path / "store")
+    ShardedCache(root, n_shards=4).store(_key(), {"v": 1})
+    # A later opener asking for a different geometry follows the manifest.
+    reopened = ShardedCache(root, n_shards=32)
+    assert reopened.n_shards == 4
+    assert reopened.load(_key()) == {"v": 1}
+    with open(os.path.join(root, MANIFEST_NAME)) as handle:
+        assert json.load(handle)["n_shards"] == 4
+
+
+def test_open_cache_picks_backend(tmp_path, monkeypatch):
+    plain = str(tmp_path / "cache.json")
+    assert isinstance(open_cache(plain), ResultCache)
+    assert isinstance(open_cache(str(tmp_path / "store") + os.sep),
+                      ShardedCache)
+    existing_dir = tmp_path / "dirstore"
+    existing_dir.mkdir()
+    assert isinstance(open_cache(str(existing_dir)), ShardedCache)
+    monkeypatch.setenv("REPRO_CACHE_SHARDS", "8")
+    via_env = open_cache(str(tmp_path / "envstore"))
+    assert isinstance(via_env, ShardedCache)
+    assert via_env.n_shards == 8
+
+
+def test_open_cache_defaults_shard_count(tmp_path):
+    store = open_cache(str(tmp_path / "store") + os.sep)
+    assert store.n_shards == DEFAULT_SHARDS
+
+
+def test_corrupt_shard_is_quarantined_not_fatal(tmp_path):
+    root = str(tmp_path / "store")
+    store = ShardedCache(root, n_shards=2)
+    key = _key()
+    store.store(key, {"v": 1})
+    shard_path = store.shard_for(key).path
+    with open(shard_path, "w") as handle:
+        handle.write("{ not json")
+    assert store.load(key) is None
+    corrupt = [n for n in os.listdir(root) if ".corrupt." in n]
+    assert len(corrupt) == 1
+    store.store(key, {"v": 2})
+    assert store.load(key) == {"v": 2}
+
+
+# ----------------------------------------------------------------------
+# Legacy-file migration.
+# ----------------------------------------------------------------------
+
+def test_migration_routes_good_and_quarantines_bad(tmp_path):
+    path = str(tmp_path / "cache.json")
+    legacy = ResultCache(path)
+    good = {_key(workload=f"wl{i}"): {"i": i} for i in range(4)}
+    bad = {"garbage-key": {"old": 1},
+           "16/gone_variant/fft/1/100/10": {"old": 2}}
+    legacy.store_many(dict(good, **bad))
+
+    store = open_cache(path, n_shards=4)
+    assert isinstance(store, ShardedCache)
+    assert os.path.isdir(path)
+    assert store.load_all() == good
+    # The legacy file survives as an escape hatch...
+    backup = ResultCache(path + ".migrated").load_all()
+    assert set(backup) == set(good) | set(bad)
+    # ...and the unparseable entries are quarantined inside the store.
+    quarantined = [n for n in os.listdir(path)
+                   if n.startswith("quarantined-keys.")]
+    assert len(quarantined) == 1
+    with open(os.path.join(path, quarantined[0])) as handle:
+        payload = json.load(handle)
+    assert payload["entries"] == bad
+    assert payload["reason"]
+
+
+def test_migration_is_idempotent(tmp_path):
+    path = str(tmp_path / "cache.json")
+    ResultCache(path).store(_key(), {"v": 1})
+    first = open_cache(path, n_shards=2)
+    second = open_cache(path, n_shards=2)
+    assert isinstance(second, ShardedCache)
+    assert first.load_all() == second.load_all() == {_key(): {"v": 1}}
+
+
+def test_migrate_legacy_file_direct_on_missing_file(tmp_path):
+    # Migrating a path that never existed just builds an empty store.
+    path = str(tmp_path / "cache.json")
+    store = migrate_legacy_file(path, n_shards=2)
+    assert store.load_all() == {}
+
+
+# ----------------------------------------------------------------------
+# Quarantine pruning.
+# ----------------------------------------------------------------------
+
+def test_prune_quarantine_keeps_newest(tmp_path):
+    for n in range(QUARANTINE_KEEP + 3):
+        victim = tmp_path / f"cache.json.corrupt.1.{n}"
+        victim.write_text("{}")
+        os.utime(victim, (n, n))  # monotone mtimes, oldest first
+    prune_quarantine(str(tmp_path), "cache.json.corrupt.")
+    left = sorted(p.name for p in tmp_path.iterdir())
+    assert len(left) == QUARANTINE_KEEP
+    # The newest (highest-mtime) files survive.
+    assert f"cache.json.corrupt.1.{QUARANTINE_KEEP + 2}" in left
+    assert "cache.json.corrupt.1.0" not in left
+
+
+def test_quarantine_entries_prunes_its_own_pile(tmp_path):
+    store = ShardedCache(str(tmp_path / "store"), n_shards=2)
+    for n in range(QUARANTINE_KEEP + 2):
+        path = store.quarantine_entries({"bad": {"n": n}}, "test")
+        os.utime(path, (n, n))
+    piles = [n for n in os.listdir(store.root)
+             if n.startswith("quarantined-keys.")]
+    assert len(piles) == QUARANTINE_KEEP
+
+
+# ----------------------------------------------------------------------
+# Multiprocess hammer.
+# ----------------------------------------------------------------------
+
+N_WRITERS = 5
+KEYS_PER_WRITER = 30
+HAMMER_SHARDS = 4
+
+
+def _writer_keys(writer_id):
+    """Writer-unique keys spread across sweep cells (hence shards)."""
+    return {
+        _key(n_cores=16 + 16 * writer_id, workload=f"wl{i % 6}",
+             seed=writer_id, measure=1000 + i): {"writer": writer_id, "i": i}
+        for i in range(KEYS_PER_WRITER)
+    }
+
+
+def _hammer_writer(root, writer_id, barrier):
+    store = ShardedCache(root, lock_timeout=120.0, lock_stale=1.0)
+    barrier.wait()
+    for key, entry in _writer_keys(writer_id).items():
+        store.store(key, entry)
+
+
+def _crashing_writer(root, barrier):
+    """Dies mid-publish while holding a shard lock (simulated SIGKILL)."""
+    from repro.harness import cache as cache_mod
+
+    def crash_publish(self, entries):
+        os._exit(17)
+
+    cache_mod.ResultCache._publish = crash_publish
+    store = cache_mod.ShardedCache(root, lock_timeout=120.0, lock_stale=1.0)
+    barrier.wait()
+    store.store(_key(n_cores=16, workload="wl0", seed=99), {"doomed": True})
+
+
+def test_multiprocess_hammer_no_lost_or_duplicated_entries(tmp_path):
+    root = str(tmp_path / "store")
+    ShardedCache(root, n_shards=HAMMER_SHARDS)  # anchor geometry up front
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(N_WRITERS + 1)
+    writers = [
+        ctx.Process(target=_hammer_writer, args=(root, wid, barrier))
+        for wid in range(N_WRITERS)
+    ]
+    crasher = ctx.Process(target=_crashing_writer, args=(root, barrier))
+    for proc in writers + [crasher]:
+        proc.start()
+    for proc in writers:
+        proc.join(timeout=300)
+        assert proc.exitcode == 0
+    crasher.join(timeout=300)
+    assert crasher.exitcode == 17  # really died inside _publish
+
+    expected = {}
+    for wid in range(N_WRITERS):
+        expected.update(_writer_keys(wid))
+    store = ShardedCache(root, lock_stale=1.0)
+    assert store.n_shards == HAMMER_SHARDS
+    merged = store.load_all()
+    assert merged == expected  # nothing lost, nothing extra
+    # No key appears in more than one shard file, and every shard file
+    # holds only keys that route to it.
+    total = 0
+    for name in os.listdir(root):
+        if not name.startswith("shard-") or not name.endswith(".json"):
+            continue
+        index = int(name[len("shard-"):-len(".json")])
+        with open(os.path.join(root, name)) as handle:
+            entries = json.load(handle)["entries"]
+        for key in entries:
+            assert spec_key_shard(key, HAMMER_SHARDS) == index
+        total += len(entries)
+    assert total == len(expected)
+
+
+def test_crash_mid_publish_leaves_store_recoverable(tmp_path):
+    root = str(tmp_path / "store")
+    pre_key = _key(n_cores=16, workload="wl0", seed=1)
+    store = ShardedCache(root, n_shards=2, lock_stale=1.0)
+    store.store(pre_key, {"v": "pre-existing"})
+
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(1)
+    crasher = ctx.Process(target=_crashing_writer, args=(root, barrier))
+    crasher.start()
+    crasher.join(timeout=60)
+    assert crasher.exitcode == 17
+    # The corpse left its shard lock behind...
+    locks = [n for n in os.listdir(root)
+             if n.startswith("shard-") and n.endswith(".lock")]
+    assert locks, "crashing writer should have died holding a shard lock"
+    # ...but a later writer breaks the stale lock and proceeds, and the
+    # atomic-publish discipline means nothing already stored was torn.
+    time.sleep(1.1)  # age the lock past lock_stale
+    after_key = _key(n_cores=16, workload="wl0", seed=2)
+    store.store(after_key, {"v": "after-crash"})
+    merged = store.load_all()
+    assert merged[pre_key] == {"v": "pre-existing"}
+    assert merged[after_key] == {"v": "after-crash"}
+    assert not any(".corrupt." in n for n in os.listdir(root))

@@ -62,8 +62,17 @@ def main(argv=None) -> int:
         lines.append(text)
 
     t0 = time.time()
+    from repro import api
+
     jobs = parallel.resolve_jobs(args.jobs)
-    if jobs > 1:
+    if api.service_address():
+        # Shared job daemon: the fleet computes (and dedups) the batch;
+        # rendering below consumes the memo-seeded results.
+        specs = _all_specs(workloads, full, args.seed)
+        print(f"submitting {len(specs)} spec(s) to the job daemon at "
+              f"{api.service_address()}", file=sys.stderr, flush=True)
+        api.results(api.submit(specs))
+    elif jobs > 1:
         parallel.run_specs(
             _all_specs(workloads, full, args.seed), jobs=jobs,
             echo=lambda msg: print(msg, file=sys.stderr, flush=True),
